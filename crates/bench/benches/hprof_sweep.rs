@@ -1,0 +1,73 @@
+//! Cost of the hierarchical threshold sweep (Section 3.4.3).
+//!
+//! The paper's argument: partitioning is fast enough "to enable us to
+//! consider thousands of possible Tmll". This bench measures a full
+//! HTOP sweep on a 2,000-router network, ablating the sweep step
+//! (0.1 ms as in the paper vs 0.2/0.4 ms) and the graph-reduction step
+//! alone.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use massf_core::hier::reduce_graph;
+use massf_core::prelude::*;
+use massf_core::{EdgeWeighting, VertexWeighting};
+
+fn setup() -> (Network, WeightedGraph) {
+    let net = generate_flat_network(&FlatTopologyConfig {
+        routers: 2_000,
+        hosts: 800,
+        metro_count: 160,
+        ..FlatTopologyConfig::default()
+    });
+    let graph = massf_core::build_weighted_graph(
+        &net,
+        VertexWeighting::Bandwidth,
+        EdgeWeighting::Standard,
+        None,
+    );
+    (net, graph)
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let (net, graph) = setup();
+    let mut group = c.benchmark_group("hierarchical_sweep_2k_16parts");
+    group.sample_size(10);
+    for step_ms in [0.1f64, 0.2, 0.4] {
+        let cfg = HierConfig {
+            engines: 16,
+            step_ms,
+            ..HierConfig::new(16)
+        };
+        group.bench_with_input(
+            BenchmarkId::new("step_ms", format!("{step_ms}")),
+            &cfg,
+            |b, cfg| b.iter(|| hierarchical_partition(&net, &graph, cfg)),
+        );
+    }
+    group.finish();
+
+    let r = hierarchical_partition(&net, &graph, &HierConfig::new(16));
+    eprintln!(
+        "sweep candidates: {}, winner Tmll {} ms, MLL {:.3} ms, E {:.3}",
+        r.candidates.len(),
+        r.tmll_ms,
+        r.evaluation.mll_ms,
+        r.evaluation.e
+    );
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let (net, graph) = setup();
+    let mut group = c.benchmark_group("graph_reduction_2k");
+    group.sample_size(20);
+    for tmll in [0.5f64, 1.0, 3.0] {
+        group.bench_with_input(
+            BenchmarkId::new("tmll_ms", format!("{tmll}")),
+            &tmll,
+            |b, &tmll| b.iter(|| reduce_graph(&net, &graph, tmll)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep, bench_reduction);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Figure 3: load variation over the lifetime of the simulation.
+//!
+//! Runs the single-AS scenario under a TOP2 mapping and prints the
+//! per-engine kernel-event rates over time (bucketed), showing how the
+//! traffic workload per engine varies through the run.
+
+use massf_bench::HarnessOptions;
+use massf_core::prelude::*;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let scenario = Scenario::build(
+        ScenarioKind::SingleAs,
+        opts.scale,
+        WorkloadKind::ScaLapack,
+        opts.seed,
+    );
+    let cfg = opts.mapping_config();
+    let model = opts.cluster_model();
+    let out = run_mapping_experiment(
+        &scenario,
+        MappingApproach::Top2,
+        &cfg,
+        &model,
+        opts.scale.run_duration(),
+    );
+
+    let stats = &out.run_stats;
+    let buckets = stats.coarse_trace.len();
+    let bucket_secs = stats.window.as_secs_f64() * stats.windows_per_bucket as f64;
+    println!("== Figure 3: Load Variation over the Lifetime of Simulation ==");
+    println!(
+        "(single-AS, TOP2 mapping, {} engines; kernel events per engine per bucket of {:.3}s)",
+        cfg.engines, bucket_secs
+    );
+    let show = cfg.engines.min(6);
+    print!("{:>8}", "t[s]");
+    for p in 0..show {
+        print!(" {:>10}", format!("engine{p}"));
+    }
+    println!(" {:>10} {:>10}", "max", "mean");
+    // Condense to at most 40 printed rows.
+    let stride = buckets.div_ceil(40).max(1);
+    for b in (0..buckets).step_by(stride) {
+        let row = &stats.coarse_trace[b];
+        let max = row.iter().copied().max().unwrap_or(0);
+        let mean = row.iter().sum::<u64>() as f64 / row.len().max(1) as f64;
+        print!("{:>8.2}", b as f64 * bucket_secs);
+        for p in 0..show {
+            print!(" {:>10}", row[p]);
+        }
+        println!(" {:>10} {:>10.0}", max, mean);
+    }
+    println!();
+    println!(
+        "coefficient of variation of per-engine totals: {:.3}",
+        out.metrics.load_imbalance
+    );
+}

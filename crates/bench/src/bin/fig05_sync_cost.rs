@@ -1,0 +1,27 @@
+//! Figure 5: synchronization cost of the TeraGrid cluster vs number of
+//! simulation-engine nodes.
+//!
+//! Prints the fitted model C(N) at the paper's x-axis points, and — for
+//! thread counts this host can actually run — a live measurement of one
+//! barrier round for comparison.
+
+use massf_engine::synccost::{measure_barrier_cost_us, SyncCostModel};
+
+fn main() {
+    let model = SyncCostModel::teragrid();
+    println!("== Figure 5: Synchronization Cost of the TeraGrid Cluster ==");
+    println!("{:>6} {:>16} {:>22}", "nodes", "model C(N) [us]", "measured barrier [us]");
+    for n in [2usize, 6, 16, 48, 80, 112, 128] {
+        let measured = if n <= 16 {
+            format!("{:.1}", measure_barrier_cost_us(n, 200))
+        } else {
+            "-".to_string()
+        };
+        println!("{:>6} {:>16.1} {:>22}", n, model.cost_us(n), measured);
+    }
+    println!();
+    println!(
+        "paper anchor: C(100) ≈ 580 us (Section 3.4.1); model gives {:.1} us",
+        model.cost_us(100)
+    );
+}

@@ -1,0 +1,15 @@
+//! Figure 6: Simulation Time on the Single-AS Network.
+//!
+//! Regenerates one panel of the paper's evaluation (see the experiment
+//! index in DESIGN.md) for both workloads over the paper_four approaches.
+
+use massf_bench::{print_figure, print_improvements, run_suite, HarnessOptions};
+use massf_core::prelude::*;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let rows = run_suite(ScenarioKind::SingleAs, &opts, &MappingApproach::paper_four());
+    let title = format!("Figure 6: Simulation Time on the Single-AS Network (scale {:?}, {} engines)", opts.scale, opts.engines());
+    print_figure(&title, &rows, "T [s, modeled]", |m| m.simulation_time_secs);
+    print_improvements(&rows);
+}

@@ -1,0 +1,15 @@
+//! Figure 11: Achieved MLL on the Multi-AS Network.
+//!
+//! Regenerates one panel of the paper's evaluation (see the experiment
+//! index in DESIGN.md) for both workloads over the paper_six approaches.
+
+use massf_bench::{print_figure, print_improvements, run_suite, HarnessOptions};
+use massf_core::prelude::*;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let rows = run_suite(ScenarioKind::MultiAs, &opts, &MappingApproach::paper_six());
+    let title = format!("Figure 11: Achieved MLL on the Multi-AS Network (scale {:?}, {} engines)", opts.scale, opts.engines());
+    print_figure(&title, &rows, "MLL [ms]", |m| m.achieved_mll_ms);
+    print_improvements(&rows);
+}

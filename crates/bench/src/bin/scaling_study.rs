@@ -1,0 +1,61 @@
+//! Engine-count scaling study (the paper's Section 7 outlook: "we will
+//! use … a 256-node Itanium-2 Linux cluster"): how simulation time and
+//! parallel efficiency move with the number of engines, for HPROF vs
+//! TOP2. Shows HPROF's advantage widening as the synchronization cost
+//! C(N) grows and partitions get finer.
+
+use massf_bench::HarnessOptions;
+use massf_core::prelude::*;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let scenario = Scenario::build(
+        ScenarioKind::SingleAs,
+        opts.scale,
+        WorkloadKind::ScaLapack,
+        opts.seed,
+    );
+    let model = opts.cluster_model();
+    let duration = opts.scale.run_duration();
+    let profile = run_profiling(&scenario, duration);
+
+    println!(
+        "== Engine scaling, single-AS {:?} ({} routers) ==",
+        opts.scale,
+        scenario.net.router_count()
+    );
+    println!(
+        "{:>8} {:>10} | {:>10} {:>8} {:>8} | {:>10} {:>8} {:>8}",
+        "engines", "C(N)[us]", "T_top2[s]", "PE", "MLL", "T_hprof[s]", "PE", "MLL"
+    );
+    for engines in [2usize, 4, 8, 16, 32, 64] {
+        let cfg = MappingConfig::new(engines);
+        let run = |approach: MappingApproach| {
+            run_mapping_experiment_with_profile(
+                &scenario,
+                approach,
+                &cfg,
+                &model,
+                duration,
+                approach.needs_profile().then(|| profile.clone()),
+            )
+        };
+        let top2 = run(MappingApproach::Top2);
+        let hprof = run(MappingApproach::Hprof);
+        println!(
+            "{:>8} {:>10.0} | {:>10.2} {:>8.3} {:>8.2} | {:>10.2} {:>8.3} {:>8.2}",
+            engines,
+            cfg.sync.cost_us(engines),
+            top2.metrics.simulation_time_secs,
+            top2.metrics.parallel_efficiency,
+            top2.metrics.achieved_mll_ms,
+            hprof.metrics.simulation_time_secs,
+            hprof.metrics.parallel_efficiency,
+            hprof.metrics.achieved_mll_ms,
+        );
+    }
+    println!(
+        "\n(Efficiency falls with N once per-engine work shrinks below the\n\
+         barrier cost; HPROF postpones the collapse by holding the MLL up.)"
+    );
+}

@@ -1,0 +1,339 @@
+//! Experiment harness shared by the figure-regeneration binaries
+//! (`src/bin/fig*.rs`) and Criterion benches.
+//!
+//! Every figure of the paper's evaluation (3, 5–13) has a binary that
+//! regenerates it; see DESIGN.md's experiment index. Binaries accept:
+//!
+//! ```text
+//! --scale tiny|small|medium|paper   (default: small)
+//! --engines N                       (default: 90, as in the paper)
+//! --seed S                          (default: 2004)
+//! ```
+//!
+//! Absolute numbers come from the trace-driven cluster model (DESIGN.md
+//! substitution #1); the figure *shapes* — who wins, by roughly what
+//! factor — are the reproduction target.
+
+use massf_core::prelude::*;
+use std::collections::HashMap;
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    pub scale: Scale,
+    /// Engine count; `None` derives it from the scale so that the
+    /// routers-per-engine ratio (and hence per-engine event density,
+    /// which sets the compute : synchronization balance) stays close to
+    /// the paper's 20,000 routers / 90 engines ≈ 220.
+    pub engines_override: Option<usize>,
+    pub seed: u64,
+    /// Number of topology seeds to run and average over.
+    pub repeats: usize,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            scale: Scale::Small,
+            engines_override: None,
+            seed: 2004,
+            repeats: 1,
+        }
+    }
+}
+
+/// Default engine count per scale (≈ paper's router:engine ratio).
+pub fn default_engines(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 4,
+        Scale::Small => 8,
+        Scale::Medium => 24,
+        Scale::Paper => 90,
+    }
+}
+
+impl HarnessOptions {
+    /// Parse `std::env::args()`-style arguments (ignores argv[0]).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> HarnessOptions {
+        let mut opts = HarnessOptions::default();
+        let mut iter = args.into_iter().skip(1);
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = iter.next().expect("--scale needs a value");
+                    opts.scale = match v.as_str() {
+                        "tiny" => Scale::Tiny,
+                        "small" => Scale::Small,
+                        "medium" => Scale::Medium,
+                        "paper" => Scale::Paper,
+                        other => panic!("unknown scale {other:?}"),
+                    };
+                }
+                "--engines" => {
+                    opts.engines_override = Some(
+                        iter.next()
+                            .expect("--engines needs a value")
+                            .parse()
+                            .expect("--engines must be a number"),
+                    );
+                }
+                "--seed" => {
+                    opts.seed = iter
+                        .next()
+                        .expect("--seed needs a value")
+                        .parse()
+                        .expect("--seed must be a number");
+                }
+                "--repeats" => {
+                    opts.repeats = iter
+                        .next()
+                        .expect("--repeats needs a value")
+                        .parse::<usize>()
+                        .expect("--repeats must be a number")
+                        .max(1);
+                }
+                other => panic!(
+                    "unknown argument {other:?} (expected --scale/--engines/--seed/--repeats)"
+                ),
+            }
+        }
+        opts
+    }
+
+    /// Parse the real process arguments.
+    pub fn from_env() -> HarnessOptions {
+        Self::parse(std::env::args())
+    }
+
+    /// Effective engine count.
+    pub fn engines(&self) -> usize {
+        self.engines_override
+            .unwrap_or_else(|| default_engines(self.scale))
+    }
+
+    /// The mapping configuration for these options.
+    pub fn mapping_config(&self) -> MappingConfig {
+        MappingConfig::new(self.engines())
+    }
+
+    /// The cluster performance model for these options.
+    pub fn cluster_model(&self) -> ClusterModel {
+        ClusterModel::default()
+    }
+}
+
+/// One `(workload, approach)` cell of a figure: all four metrics.
+#[derive(Debug, Clone)]
+pub struct SuiteRow {
+    pub workload: WorkloadKind,
+    pub approach: MappingApproach,
+    pub metrics: ExperimentMetrics,
+    pub total_events: u64,
+}
+
+/// Run the full evaluation suite for one network world: both workloads ×
+/// the requested approaches, sharing one profiling run per workload and
+/// averaging metrics over `opts.repeats` topology seeds.
+pub fn run_suite(
+    kind: ScenarioKind,
+    opts: &HarnessOptions,
+    approaches: &[MappingApproach],
+) -> Vec<SuiteRow> {
+    let mut merged: Vec<SuiteRow> = Vec::new();
+    for rep in 0..opts.repeats {
+        let mut o = opts.clone();
+        o.seed = opts.seed.wrapping_add(rep as u64 * 1000);
+        o.repeats = 1;
+        let rows = run_suite_once(kind, &o, approaches);
+        if merged.is_empty() {
+            merged = rows;
+        } else {
+            for (m, r) in merged.iter_mut().zip(rows) {
+                assert_eq!(m.approach, r.approach);
+                m.metrics.simulation_time_secs += r.metrics.simulation_time_secs;
+                m.metrics.achieved_mll_ms += r.metrics.achieved_mll_ms;
+                m.metrics.load_imbalance += r.metrics.load_imbalance;
+                m.metrics.parallel_efficiency += r.metrics.parallel_efficiency;
+                m.total_events += r.total_events;
+            }
+        }
+    }
+    let n = opts.repeats as f64;
+    for m in merged.iter_mut() {
+        m.metrics.simulation_time_secs /= n;
+        m.metrics.achieved_mll_ms /= n;
+        m.metrics.load_imbalance /= n;
+        m.metrics.parallel_efficiency /= n;
+        m.total_events /= opts.repeats as u64;
+    }
+    merged
+}
+
+fn run_suite_once(
+    kind: ScenarioKind,
+    opts: &HarnessOptions,
+    approaches: &[MappingApproach],
+) -> Vec<SuiteRow> {
+    let cfg = opts.mapping_config();
+    let model = opts.cluster_model();
+    let duration = opts.scale.run_duration();
+    let mut rows = Vec::new();
+    for workload in [WorkloadKind::ScaLapack, WorkloadKind::GridNpb] {
+        eprintln!("# building {kind:?} scenario for {} …", workload.label());
+        let scenario = Scenario::build(kind, opts.scale, workload, opts.seed);
+        let needs_profile = approaches.iter().any(|a| a.needs_profile());
+        let profile = needs_profile.then(|| {
+            eprintln!("# profiling run ({}) …", workload.label());
+            run_profiling(&scenario, duration)
+        });
+        for &approach in approaches {
+            eprintln!("# measuring {} / {} …", workload.label(), approach.label());
+            let out = run_mapping_experiment_with_profile(
+                &scenario,
+                approach,
+                &cfg,
+                &model,
+                duration,
+                approach.needs_profile().then(|| {
+                    profile.clone().expect("profiling ran")
+                }),
+            );
+            rows.push(SuiteRow {
+                workload,
+                approach,
+                metrics: out.metrics,
+                total_events: out.run_stats.total_events,
+            });
+        }
+    }
+    rows
+}
+
+/// Pretty-print one figure: a `workload × approach` metric grid.
+pub fn print_figure(
+    title: &str,
+    rows: &[SuiteRow],
+    metric_name: &str,
+    metric: impl Fn(&ExperimentMetrics) -> f64,
+) {
+    println!("== {title} ==");
+    println!("{:<12} {:<10} {:>14}", "workload", "approach", metric_name);
+    for row in rows {
+        println!(
+            "{:<12} {:<10} {:>14.4}",
+            row.workload.label(),
+            row.approach.label(),
+            metric(&row.metrics)
+        );
+    }
+    println!();
+}
+
+/// Relative improvements quoted in the paper's text, printed under the
+/// figures for easy comparison (e.g. "PROF2 reduces TOP2's time by X%").
+pub fn print_improvements(rows: &[SuiteRow]) {
+    let by_key: HashMap<(WorkloadKind, MappingApproach), &SuiteRow> = rows
+        .iter()
+        .map(|r| ((r.workload, r.approach), r))
+        .collect();
+    for workload in [WorkloadKind::ScaLapack, WorkloadKind::GridNpb] {
+        let get = |a: MappingApproach| by_key.get(&(workload, a));
+        if let (Some(top2), Some(prof2), Some(hprof), Some(htop)) = (
+            get(MappingApproach::Top2),
+            get(MappingApproach::Prof2),
+            get(MappingApproach::Hprof),
+            get(MappingApproach::Htop),
+        ) {
+            let pct = |a: f64, b: f64| (1.0 - a / b) * 100.0;
+            println!("-- {} --", workload.label());
+            println!(
+                "PROF2 vs TOP2 time:      {:+.1}% (paper: -14% single-AS / -21% multi-AS)",
+                -pct(
+                    prof2.metrics.simulation_time_secs,
+                    top2.metrics.simulation_time_secs
+                )
+            );
+            println!(
+                "HPROF vs TOP2 time:      {:+.1}% (paper: ≈-40% / -41%)",
+                -pct(
+                    hprof.metrics.simulation_time_secs,
+                    top2.metrics.simulation_time_secs
+                )
+            );
+            println!(
+                "PROF2 vs TOP2 imbalance: {:+.1}% (paper: ≈-7% / -15%)",
+                -pct(prof2.metrics.load_imbalance, top2.metrics.load_imbalance)
+            );
+            println!(
+                "HPROF vs HTOP imbalance: {:+.1}% (paper: ≈-11% / -31%)",
+                -pct(hprof.metrics.load_imbalance, htop.metrics.load_imbalance)
+            );
+            println!(
+                "HPROF efficiency:        {:.3} (paper: ≈0.40), vs TOP2 {:+.1}%",
+                hprof.metrics.parallel_efficiency,
+                (hprof.metrics.parallel_efficiency / top2.metrics.parallel_efficiency - 1.0)
+                    * 100.0
+            );
+            println!();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &str) -> String {
+        v.to_string()
+    }
+
+    #[test]
+    fn parses_arguments() {
+        let opts = HarnessOptions::parse(vec![
+            s("bin"),
+            s("--scale"),
+            s("tiny"),
+            s("--engines"),
+            s("16"),
+            s("--seed"),
+            s("9"),
+        ]);
+        assert_eq!(opts.scale, Scale::Tiny);
+        assert_eq!(opts.engines(), 16);
+        assert_eq!(opts.seed, 9);
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let opts = HarnessOptions::parse(vec![s("bin")]);
+        assert_eq!(opts.engines(), default_engines(Scale::Small));
+        assert_eq!(opts.scale, Scale::Small);
+        assert_eq!(default_engines(Scale::Paper), 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scale")]
+    fn rejects_bad_scale() {
+        HarnessOptions::parse(vec![s("bin"), s("--scale"), s("huge")]);
+    }
+
+    #[test]
+    fn tiny_suite_has_expected_shape() {
+        let opts = HarnessOptions {
+            scale: Scale::Tiny,
+            engines_override: Some(4),
+            seed: 3,
+            repeats: 1,
+        };
+        let rows = run_suite(
+            ScenarioKind::SingleAs,
+            &opts,
+            &[MappingApproach::Top2, MappingApproach::Hprof],
+        );
+        assert_eq!(rows.len(), 4); // 2 workloads × 2 approaches
+        for r in &rows {
+            assert!(r.metrics.simulation_time_secs > 0.0);
+            assert!(r.total_events > 0);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The BGP beacon study the paper proposes as future validation
+//! (Section 7): announce and withdraw a prefix on a schedule and observe
+//! the update churn — withdrawals trigger path exploration ("path
+//! hunting"), so they cost more messages and rounds than announcements.
+//!
+//! ```sh
+//! cargo run --release -p massf-core --example bgp_beacon
+//! ```
+
+use massf_routing::{beacon_schedule, BeaconSim};
+use massf_topology::{AsClass, AsGraph};
+
+fn main() {
+    let g = AsGraph::generate(80, 2, 0.06, 2004);
+    let stubs: Vec<usize> = (0..g.n)
+        .filter(|&a| g.classes[a] == AsClass::Stub)
+        .collect();
+    println!(
+        "AS graph: {} ASes ({} stubs, {} core)",
+        g.n,
+        stubs.len(),
+        g.core_ases().len()
+    );
+
+    // Beacon from a multi-homed stub — the interesting case, since
+    // withdrawal forces every AS to hunt through alternate paths.
+    let origin = stubs
+        .iter()
+        .copied()
+        .find(|&a| g.providers(a).len() >= 2)
+        .unwrap_or(stubs[0]);
+    println!(
+        "beacon origin: AS {origin} ({} providers)\n",
+        g.providers(origin).len()
+    );
+
+    println!(
+        "{:>8} {:>10} {:>10} {:>13}",
+        "episode", "rounds", "messages", "withdrawals"
+    );
+    let episodes = beacon_schedule(&g, origin, 3);
+    for (i, e) in episodes.iter().enumerate() {
+        let kind = if i % 2 == 0 { "announce" } else { "withdraw" };
+        println!(
+            "{:>8} {:>10} {:>10} {:>13}",
+            kind, e.rounds, e.messages, e.withdrawals
+        );
+    }
+
+    // Show one AS's view flipping.
+    let mut sim = BeaconSim::new(&g, origin);
+    sim.announce();
+    let observer = (0..g.n)
+        .filter(|&a| a != origin)
+        .max_by_key(|&a| sim.path_of(a).map(|p| p.len()).unwrap_or(0))
+        .expect("some observer");
+    println!(
+        "\nfarthest observer AS {observer} selected path: {:?}",
+        sim.path_of(observer).unwrap()
+    );
+    sim.withdraw();
+    println!(
+        "after withdrawal it holds {} route (as expected)",
+        if sim.path_of(observer).is_none() {
+            "no"
+        } else {
+            "a stale"
+        }
+    );
+
+    let announce_avg: f64 = episodes
+        .iter()
+        .step_by(2)
+        .map(|e| e.messages as f64)
+        .sum::<f64>()
+        / 3.0;
+    let withdraw_avg: f64 = episodes
+        .iter()
+        .skip(1)
+        .step_by(2)
+        .map(|e| e.messages as f64)
+        .sum::<f64>()
+        / 3.0;
+    println!(
+        "\nmean messages: announce {announce_avg:.0}, withdraw {withdraw_avg:.0} \
+         (withdrawal churn ×{:.2})",
+        withdraw_avg / announce_avg
+    );
+}

@@ -1,0 +1,74 @@
+//! Quickstart: build a network, map it onto simulation engines with
+//! HPROF, run the packet-level simulation, and read the metrics.
+//!
+//! ```sh
+//! cargo run --release -p massf-core --example quickstart
+//! ```
+
+use massf_core::prelude::*;
+
+fn main() {
+    // 1. A scenario bundles a generated topology, routing, and the
+    //    paper's workload mix (HTTP background + a Grid application).
+    let scenario = Scenario::build(
+        ScenarioKind::SingleAs,
+        Scale::Tiny,
+        WorkloadKind::ScaLapack,
+        42,
+    );
+    println!(
+        "network: {} routers, {} hosts, {} links (min link latency {:.3} ms)",
+        scenario.net.router_count(),
+        scenario.net.host_count(),
+        scenario.net.link_count(),
+        scenario.net.min_link_latency_ms().unwrap_or(0.0)
+    );
+
+    // 2. Map the network onto 4 simulation engines with the paper's
+    //    hierarchical profile-based approach (profiling run included).
+    let cfg = MappingConfig::new(4);
+    let model = ClusterModel::default();
+    let out = run_mapping_experiment(
+        &scenario,
+        MappingApproach::Hprof,
+        &cfg,
+        &model,
+        SimTime::from_secs(5),
+    );
+
+    // 3. Inspect the mapping and the run.
+    println!(
+        "HPROF picked Tmll = {:.1} ms; achieved MLL = {:.3} ms",
+        out.mapping.tmll_ms.unwrap_or(0.0),
+        out.metrics.achieved_mll_ms
+    );
+    println!(
+        "static evaluation: Es = {:.3}, Ec = {:.3}, E = {:.3}",
+        out.mapping.evaluation.es, out.mapping.evaluation.ec, out.mapping.evaluation.e
+    );
+    println!(
+        "measured run: {} kernel events, {} flows completed, {} drops",
+        out.run_stats.total_events, out.run_profile.completed_flows, out.run_profile.drops
+    );
+    println!(
+        "metrics: T = {:.3} s (modeled), imbalance = {:.3}, PE = {:.3}",
+        out.metrics.simulation_time_secs,
+        out.metrics.load_imbalance,
+        out.metrics.parallel_efficiency
+    );
+
+    // 4. For comparison: the same run under a naive random mapping.
+    let rand_out = run_mapping_experiment(
+        &scenario,
+        MappingApproach::Random,
+        &cfg,
+        &model,
+        SimTime::from_secs(5),
+    );
+    println!(
+        "random mapping for contrast: MLL = {:.3} ms, T = {:.3} s, PE = {:.3}",
+        rand_out.metrics.achieved_mll_ms,
+        rand_out.metrics.simulation_time_secs,
+        rand_out.metrics.parallel_efficiency
+    );
+}

@@ -1,0 +1,372 @@
+//! Hierarchical partitioning — the paper's contribution (Section 3.4).
+//!
+//! The flat mappers achieve tiny MLLs on large networks because the
+//! partitioner optimizes total edge-cut, to which any single
+//! small-latency edge contributes little (Section 3.4.2). The fix:
+//!
+//! ```text
+//! Input:  graph G, partition N, and synchronization cost C
+//! Output: the best partition P of graph G
+//! Hierarchical Partition:
+//!   Set the initial Threshold of MLL (Tmll)
+//!   Loop through all reasonable Tmll:
+//!     Get the dumped graph Gd(Tmll)
+//!     Partition the Gd(Tmll) using an existing partitioner → P(Tmll)
+//!     Evaluate the partition result Pd(Tmll)
+//!   Pick up the best partition Pd(Tmll)
+//!   Get the best partition P of original G
+//! ```
+//!
+//! `Gd(Tmll)` merges every edge with latency < `Tmll` (union-find), so
+//! no such edge can be cut — the worst-case MLL is guaranteed ≥ `Tmll`.
+//! Candidates are scored with `E = Es · Ec` ([`crate::evaluate`]);
+//! the sweep starts just above the synchronization cost ("we require a
+//! Tmll to be larger than the synchronization cost") and steps by 0.1 ms
+//! ("0.1ms in our experiments").
+
+use crate::evaluate::{efficiency, PartitionEvaluation};
+use massf_engine::SyncCostModel;
+use massf_partition::{metis_kway, KwayConfig, Partition, UnionFind, WeightedGraph};
+use massf_topology::Network;
+
+/// Hierarchical-partition configuration.
+#[derive(Debug, Clone)]
+pub struct HierConfig {
+    /// Number of simulation engines (parts).
+    pub engines: usize,
+    /// Cluster synchronization-cost model (sets the sweep start).
+    pub sync: SyncCostModel,
+    /// Sweep step, ms (paper: 0.1).
+    pub step_ms: f64,
+    /// Maximum number of thresholds to try.
+    pub max_steps: usize,
+    /// Underlying partitioner configuration.
+    pub kway: KwayConfig,
+}
+
+impl HierConfig {
+    /// Paper-shaped defaults for `engines` engine nodes.
+    pub fn new(engines: usize) -> Self {
+        HierConfig {
+            engines,
+            sync: SyncCostModel::teragrid(),
+            step_ms: 0.1,
+            max_steps: 200,
+            kway: KwayConfig::default(),
+        }
+    }
+}
+
+/// One swept candidate.
+#[derive(Debug, Clone)]
+pub struct HierCandidate {
+    pub tmll_ms: f64,
+    /// Vertices of the reduced ("dumped") graph.
+    pub reduced_vertices: usize,
+    pub evaluation: PartitionEvaluation,
+}
+
+/// Result of the hierarchical partition.
+#[derive(Debug, Clone)]
+pub struct HierResult {
+    /// The winning partition of the *original* graph.
+    pub partition: Partition,
+    /// The winning threshold.
+    pub tmll_ms: f64,
+    /// Its evaluation.
+    pub evaluation: PartitionEvaluation,
+    /// The full sweep (for ablation studies / Figure-7-style analysis).
+    pub candidates: Vec<HierCandidate>,
+}
+
+/// Merge all vertices joined by links with `latency < tmll_ms`,
+/// returning the reduced graph and the node → cluster map.
+pub fn reduce_graph(
+    net: &Network,
+    graph: &WeightedGraph,
+    tmll_ms: f64,
+) -> (WeightedGraph, Vec<u32>) {
+    let n = graph.vertex_count();
+    debug_assert_eq!(n, net.node_count());
+    let mut uf = UnionFind::new(n);
+    for link in &net.links {
+        if link.latency_ms < tmll_ms {
+            uf.union(link.a.index(), link.b.index());
+        }
+    }
+    let (labels, clusters) = uf.dense_labels();
+
+    let mut vweights = vec![0u64; clusters];
+    for v in 0..n {
+        vweights[labels[v] as usize] += graph.vertex_weight(v);
+    }
+    let mut edges = Vec::new();
+    for v in 0..n {
+        for (u, w) in graph.neighbors(v) {
+            if u > v {
+                let (cv, cu) = (labels[v], labels[u]);
+                if cv != cu {
+                    edges.push((cv, cu, w));
+                }
+            }
+        }
+    }
+    (WeightedGraph::from_edges(vweights, &edges), labels)
+}
+
+/// Run the hierarchical partition of `graph` (weights chosen by the
+/// caller: bandwidth ⇒ HTOP, profile ⇒ HPROF).
+///
+/// # Panics
+/// Panics when `engines == 0` or the graph is empty.
+pub fn hierarchical_partition(
+    net: &Network,
+    graph: &WeightedGraph,
+    cfg: &HierConfig,
+) -> HierResult {
+    assert!(cfg.engines >= 1);
+    assert!(graph.vertex_count() > 0);
+    let sync_ms = cfg.sync.cost_us(cfg.engines) / 1_000.0;
+    // "We require a Tmll to be larger than the synchronization cost":
+    // start at the first step-multiple above it.
+    let first_step = (sync_ms / cfg.step_ms).floor() as usize + 1;
+
+    let mut candidates = Vec::new();
+    let mut best: Option<(Partition, f64, PartitionEvaluation)> = None;
+
+    for step in 0..cfg.max_steps {
+        let tmll_ms = (first_step + step) as f64 * cfg.step_ms;
+        let (reduced, labels) = reduce_graph(net, graph, tmll_ms);
+        let reduced_n = reduced.vertex_count();
+        if reduced_n < cfg.engines {
+            // Coarser than the engine count: no parallelism left; stop.
+            break;
+        }
+        let reduced_partition = metis_kway(&reduced, cfg.engines, &cfg.kway);
+        // Project to the original graph.
+        let assignment: Vec<u32> = labels
+            .iter()
+            .map(|&c| reduced_partition.assignment[c as usize])
+            .collect();
+        let partition = Partition::new(assignment, cfg.engines);
+        let eval = efficiency(net, graph, &partition, cfg.engines, &cfg.sync);
+        debug_assert!(
+            eval.mll_ms >= tmll_ms || eval.mll_ms.is_infinite(),
+            "reduction must guarantee MLL ≥ Tmll ({} < {tmll_ms})",
+            eval.mll_ms
+        );
+        candidates.push(HierCandidate {
+            tmll_ms,
+            reduced_vertices: reduced_n,
+            evaluation: eval,
+        });
+        let better = match &best {
+            None => true,
+            Some((_, _, be)) => eval.e > be.e,
+        };
+        if better {
+            best = Some((partition, tmll_ms, eval));
+        }
+    }
+
+    let (partition, tmll_ms, evaluation) = best.unwrap_or_else(|| {
+        // Even the first threshold over-coarsened (tiny test graphs):
+        // fall back to a flat partition.
+        let partition = metis_kway(graph, cfg.engines, &cfg.kway);
+        let eval = efficiency(net, graph, &partition, cfg.engines, &cfg.sync);
+        (partition, 0.0, eval)
+    });
+    HierResult {
+        partition,
+        tmll_ms,
+        evaluation,
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::{build_weighted_graph, EdgeWeighting, VertexWeighting};
+    use massf_topology::{generate_flat_network, FlatTopologyConfig};
+
+    fn setup() -> (massf_topology::Network, WeightedGraph) {
+        let net = generate_flat_network(&FlatTopologyConfig {
+            routers: 400,
+            hosts: 100,
+            metro_count: 8,
+            ..FlatTopologyConfig::tiny()
+        });
+        let g = build_weighted_graph(
+            &net,
+            VertexWeighting::Bandwidth,
+            EdgeWeighting::Standard,
+            None,
+        );
+        (net, g)
+    }
+
+    fn cfg(engines: usize) -> HierConfig {
+        HierConfig {
+            engines,
+            sync: SyncCostModel::new(50.0, 50.0), // small cluster model
+            step_ms: 0.1,
+            max_steps: 60,
+            kway: KwayConfig::default(),
+        }
+    }
+
+    #[test]
+    fn reduction_merges_below_threshold_only() {
+        let (net, g) = setup();
+        let (reduced, labels) = reduce_graph(&net, &g, 0.5);
+        assert!(reduced.vertex_count() < g.vertex_count());
+        assert_eq!(reduced.total_vertex_weight(), g.total_vertex_weight());
+        for link in &net.links {
+            let same = labels[link.a.index()] == labels[link.b.index()];
+            if link.latency_ms < 0.5 {
+                assert!(same, "sub-threshold link not merged");
+            }
+            // Links ≥ threshold may still be same-cluster via a short path.
+        }
+    }
+
+    #[test]
+    fn reduction_with_zero_threshold_is_identity_sized() {
+        let (net, g) = setup();
+        let (reduced, _) = reduce_graph(&net, &g, 0.0);
+        assert_eq!(reduced.vertex_count(), g.vertex_count());
+    }
+
+    #[test]
+    fn guarantees_mll_at_least_tmll() {
+        let (net, g) = setup();
+        let r = hierarchical_partition(&net, &g, &cfg(8));
+        assert!(r.tmll_ms > 0.0);
+        assert!(
+            r.evaluation.mll_ms >= r.tmll_ms,
+            "MLL {} < Tmll {}",
+            r.evaluation.mll_ms,
+            r.tmll_ms
+        );
+    }
+
+    #[test]
+    fn hier_beats_flat_on_mll() {
+        let (net, g) = setup();
+        let flat = metis_kway(&g, 8, &KwayConfig::default());
+        let flat_mll =
+            crate::evaluate::achieved_mll_ms(&net, &flat.assignment).unwrap_or(f64::INFINITY);
+        let r = hierarchical_partition(&net, &g, &cfg(8));
+        assert!(
+            r.evaluation.mll_ms > flat_mll,
+            "hier MLL {} should beat flat {}",
+            r.evaluation.mll_ms,
+            flat_mll
+        );
+    }
+
+    #[test]
+    fn sweep_produces_multiple_candidates_and_picks_max_e() {
+        let (net, g) = setup();
+        let r = hierarchical_partition(&net, &g, &cfg(8));
+        assert!(r.candidates.len() >= 2, "sweep too short");
+        let max_e = r
+            .candidates
+            .iter()
+            .map(|c| c.evaluation.e)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((r.evaluation.e - max_e).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uses_all_engines() {
+        let (net, g) = setup();
+        let r = hierarchical_partition(&net, &g, &cfg(8));
+        assert_eq!(r.partition.used_parts(), 8);
+    }
+
+    #[test]
+    fn stops_when_parallelism_exhausted() {
+        let (net, g) = setup();
+        // With many engines, large thresholds leave fewer clusters than
+        // engines; the sweep must terminate early rather than loop.
+        let r = hierarchical_partition(&net, &g, &cfg(64));
+        let last = r.candidates.last().expect("some candidates");
+        assert!(last.reduced_vertices >= 64);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (net, g) = setup();
+        let a = hierarchical_partition(&net, &g, &cfg(8));
+        let b = hierarchical_partition(&net, &g, &cfg(8));
+        assert_eq!(a.partition.assignment, b.partition.assignment);
+        assert_eq!(a.tmll_ms, b.tmll_ms);
+    }
+}
+
+#[cfg(test)]
+mod sweep_shape_tests {
+    use super::*;
+    use crate::weights::{build_weighted_graph, EdgeWeighting, VertexWeighting};
+    use massf_engine::SyncCostModel;
+    use massf_partition::KwayConfig;
+    use massf_topology::{generate_flat_network, FlatTopologyConfig};
+
+    /// The explicit tradeoff of Section 3.4.3: along the sweep, larger
+    /// thresholds must never shrink the quotient graph's guaranteed MLL,
+    /// and must monotonically shrink the reduced graph (less available
+    /// parallelism) — "Larger Es means better simulation efficiency, but
+    /// it also means less parallelism available."
+    #[test]
+    fn sweep_trades_parallelism_for_decoupling() {
+        let net = generate_flat_network(&FlatTopologyConfig {
+            routers: 500,
+            hosts: 100,
+            metro_count: 24,
+            ..FlatTopologyConfig::tiny()
+        });
+        let g = build_weighted_graph(
+            &net,
+            VertexWeighting::Bandwidth,
+            EdgeWeighting::Standard,
+            None,
+        );
+        let cfg = HierConfig {
+            engines: 6,
+            sync: SyncCostModel::new(30.0, 40.0),
+            step_ms: 0.2,
+            max_steps: 40,
+            kway: KwayConfig::default(),
+        };
+        let r = hierarchical_partition(&net, &g, &cfg);
+        assert!(r.candidates.len() >= 3);
+        for w in r.candidates.windows(2) {
+            assert!(
+                w[1].reduced_vertices <= w[0].reduced_vertices,
+                "reduction must be monotone: {} then {}",
+                w[0].reduced_vertices,
+                w[1].reduced_vertices
+            );
+            assert!(w[1].tmll_ms > w[0].tmll_ms);
+        }
+        // Each candidate's achieved MLL respects its own threshold.
+        for c in &r.candidates {
+            assert!(
+                c.evaluation.mll_ms >= c.tmll_ms,
+                "candidate at {} got MLL {}",
+                c.tmll_ms,
+                c.evaluation.mll_ms
+            );
+        }
+        // The winner strictly beats at least one other candidate (the
+        // sweep is doing real selection work, not returning the first).
+        let min_e = r
+            .candidates
+            .iter()
+            .map(|c| c.evaluation.e)
+            .fold(f64::INFINITY, f64::min);
+        assert!(r.evaluation.e > min_e);
+    }
+}

@@ -1,0 +1,223 @@
+//! The end-to-end experiment pipeline behind every evaluation figure:
+//!
+//! 1. **Profiling run** (PROF-family only): simulate briefly under a
+//!    naive round-robin partition, collecting per-node event counts and
+//!    per-link traffic (Section 3.3).
+//! 2. **Mapping**: build the weighted graph and partition it with the
+//!    chosen approach.
+//! 3. **Measured run**: simulate the full workload, attributing kernel
+//!    events to `(window, engine)` cells with the window equal to the
+//!    achieved MLL — the exact execution structure of the paper's
+//!    barrier-synchronized engine.
+//! 4. **Metrics**: simulation time (cluster model), achieved MLL, load
+//!    imbalance, parallel efficiency (Section 4.1).
+
+use crate::clustermodel::ClusterModel;
+use crate::mappers::{map_network, MappingApproach, MappingConfig, MappingResult};
+use crate::metrics::ExperimentMetrics;
+use crate::scenario::Scenario;
+use massf_engine::{ExecutionStats, SimTime};
+use massf_netsim::{NetSimBuilder, ProfileData};
+
+/// Everything produced by one experiment.
+pub struct ExperimentOutput {
+    pub approach: MappingApproach,
+    pub mapping: MappingResult,
+    pub metrics: ExperimentMetrics,
+    /// Stats of the measured (windowed) run — includes the coarse
+    /// per-engine load trace (Figure 3).
+    pub run_stats: ExecutionStats,
+    /// Traffic counters of the measured run.
+    pub run_profile: ProfileData,
+    /// The profiling run's traffic counters, when one was needed.
+    pub profiling_profile: Option<ProfileData>,
+}
+
+/// Fraction of the measured duration used for the profiling run.
+const PROFILE_FRACTION: u64 = 4;
+
+/// Floor on the synchronization window to bound window counts when a
+/// mapper achieves a pathologically small MLL (TOP on large networks).
+/// Equal to the co-location latency floor of the topology generator.
+const MIN_WINDOW: SimTime = SimTime(10_000); // 10 µs
+
+/// Run the paper's profiling step by itself: simulate
+/// `duration / 4` under the naive partition and return the traffic
+/// profile. Exposed so that experiment suites can share one profiling
+/// run across all PROF-family approaches.
+pub fn run_profiling(scenario: &Scenario, duration: SimTime) -> ProfileData {
+    let (app, events) = scenario.make_app();
+    let mut builder = NetSimBuilder::new(scenario.net.clone(), scenario.resolver.clone());
+    builder.add_initial_events(events);
+    let out = builder.run_sequential(app, duration / PROFILE_FRACTION);
+    out.profile
+}
+
+/// Run the full pipeline for one `(scenario, approach)` pair.
+pub fn run_mapping_experiment(
+    scenario: &Scenario,
+    approach: MappingApproach,
+    cfg: &MappingConfig,
+    model: &ClusterModel,
+    duration: SimTime,
+) -> ExperimentOutput {
+    let profile = approach
+        .needs_profile()
+        .then(|| run_profiling(scenario, duration));
+    run_mapping_experiment_with_profile(scenario, approach, cfg, model, duration, profile)
+}
+
+/// Like [`run_mapping_experiment`], but with the profiling run's result
+/// supplied by the caller (required for PROF-family approaches).
+pub fn run_mapping_experiment_with_profile(
+    scenario: &Scenario,
+    approach: MappingApproach,
+    cfg: &MappingConfig,
+    model: &ClusterModel,
+    duration: SimTime,
+    profiling_profile: Option<ProfileData>,
+) -> ExperimentOutput {
+    assert!(
+        !approach.needs_profile() || profiling_profile.is_some(),
+        "{approach:?} requires a profiling run"
+    );
+
+    // 2. Mapping.
+    let mapping = map_network(&scenario.net, profiling_profile.as_ref(), approach, cfg);
+
+    // 3. Measured run, windowed at the achieved MLL.
+    let window = if mapping.achieved_mll_ms.is_finite() {
+        SimTime::from_ms_f64(mapping.achieved_mll_ms).max(MIN_WINDOW)
+    } else {
+        duration // single partition: one "window"
+    };
+    let (app, events) = scenario.make_app();
+    let mut builder = NetSimBuilder::new(scenario.net.clone(), scenario.resolver.clone());
+    builder.add_initial_events(events);
+    let out = builder.run_sequential_windowed(
+        app,
+        duration,
+        window,
+        &mapping.partition.assignment,
+        cfg.engines,
+    );
+
+    // 4. Metrics.
+    let metrics = ExperimentMetrics::from_run(
+        &out.stats,
+        mapping.achieved_mll_ms,
+        cfg.engines,
+        model,
+    );
+    ExperimentOutput {
+        approach,
+        mapping,
+        metrics,
+        run_stats: out.stats,
+        run_profile: out.profile,
+        profiling_profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scale, ScenarioKind, WorkloadKind};
+
+    fn scenario() -> Scenario {
+        Scenario::build(
+            ScenarioKind::SingleAs,
+            Scale::Tiny,
+            WorkloadKind::ScaLapack,
+            7,
+        )
+    }
+
+    fn cfg() -> MappingConfig {
+        let mut c = MappingConfig::new(4);
+        // A small virtual cluster for tiny tests.
+        c.sync = massf_engine::SyncCostModel::new(20.0, 30.0);
+        c
+    }
+
+    #[test]
+    fn pipeline_produces_complete_metrics() {
+        let s = scenario();
+        let out = run_mapping_experiment(
+            &s,
+            MappingApproach::Top2,
+            &cfg(),
+            &ClusterModel::default(),
+            SimTime::from_secs(3),
+        );
+        assert!(out.metrics.simulation_time_secs > 0.0);
+        assert!(out.metrics.achieved_mll_ms > 0.0);
+        assert!(out.metrics.parallel_efficiency > 0.0);
+        assert!(out.metrics.parallel_efficiency <= 1.0);
+        assert!(out.run_stats.total_events > 1000);
+        assert!(out.profiling_profile.is_none());
+    }
+
+    #[test]
+    fn prof_pipeline_runs_profiling_first() {
+        let s = scenario();
+        let out = run_mapping_experiment(
+            &s,
+            MappingApproach::Prof2,
+            &cfg(),
+            &ClusterModel::default(),
+            SimTime::from_secs(3),
+        );
+        let p = out.profiling_profile.expect("profiling run happened");
+        assert!(p.total_node_packets() > 0);
+    }
+
+    #[test]
+    fn hprof_beats_random_on_predicted_time() {
+        // A random mapping cuts co-located links, collapsing the MLL and
+        // flooding the run with synchronization windows; HPROF must win
+        // clearly even at tiny scale. (The TOP-family comparisons are
+        // exercised at figure scale in the bench harness, where the
+        // paper's small-MLL effect actually appears.)
+        let s = scenario();
+        let c = cfg();
+        let model = ClusterModel::new(c.sync, 10.0);
+        let random = run_mapping_experiment(
+            &s,
+            MappingApproach::Random,
+            &c,
+            &model,
+            SimTime::from_secs(3),
+        );
+        let hprof = run_mapping_experiment(
+            &s,
+            MappingApproach::Hprof,
+            &c,
+            &model,
+            SimTime::from_secs(3),
+        );
+        assert!(
+            hprof.metrics.simulation_time_secs < random.metrics.simulation_time_secs,
+            "HPROF {} vs RANDOM {}",
+            hprof.metrics.simulation_time_secs,
+            random.metrics.simulation_time_secs
+        );
+        assert!(
+            hprof.metrics.parallel_efficiency > random.metrics.parallel_efficiency
+        );
+    }
+
+    #[test]
+    fn window_equals_achieved_mll() {
+        let s = scenario();
+        let out = run_mapping_experiment(
+            &s,
+            MappingApproach::Htop,
+            &cfg(),
+            &ClusterModel::default(),
+            SimTime::from_secs(2),
+        );
+        let expected = SimTime::from_ms_f64(out.mapping.achieved_mll_ms);
+        assert_eq!(out.run_stats.window, expected.max(super::MIN_WINDOW));
+    }
+}

@@ -1,0 +1,48 @@
+//! # massf-engine
+//!
+//! A conservative parallel discrete-event simulation (PDES) kernel in the
+//! DaSSF family, for the `massf-rs` reproduction of *Realistic Large-Scale
+//! Online Network Simulation* (Liu & Chien, SC 2004).
+//!
+//! The MaSSF simulator of the paper runs one event-driven engine per
+//! cluster node and synchronizes all engines with a global barrier every
+//! *minimum link latency* (MLL) of virtual time: any event crossing
+//! between engines is guaranteed (by link latency ≥ MLL) to arrive in a
+//! later window, so each window executes with no rollbacks. This crate
+//! implements that design:
+//!
+//! * [`SimTime`] — nanosecond-resolution virtual time.
+//! * [`Model`] — the event-handling trait implemented by simulation
+//!   models; handlers may touch only their target LP's state, which makes
+//!   sequential and parallel execution bit-identical.
+//! * [`run_sequential`] / [`run_sequential_windowed`] — reference
+//!   executor; the windowed variant additionally attributes events to
+//!   partitions and windows, producing the per-window load traces that
+//!   drive the paper's evaluation metrics.
+//! * [`run_parallel`] — real multi-threaded barrier-windowed executor
+//!   (one thread per partition), exchanging cross-partition events at
+//!   window boundaries.
+//! * [`synccost`] — the TeraGrid cluster synchronization-cost model of
+//!   the paper's Figure 5, plus a live barrier-cost measurement.
+//!
+//! Determinism: every event carries a `(source LP, per-source counter)`
+//! tag; heaps order by `(time, tag)`. Since handlers only touch target-LP
+//! state, the per-LP event sequences — and therefore all model state —
+//! are identical under sequential and parallel execution (property-tested
+//! in this crate and in the integration suite).
+
+pub mod event;
+pub mod model;
+pub mod par;
+pub mod seq;
+pub mod stats;
+pub mod synccost;
+pub mod time;
+
+pub use event::{EventRecord, LpId};
+pub use model::{Emitter, Model};
+pub use par::run_parallel;
+pub use seq::{run_sequential, run_sequential_windowed};
+pub use stats::ExecutionStats;
+pub use synccost::SyncCostModel;
+pub use time::SimTime;

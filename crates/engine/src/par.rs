@@ -1,0 +1,341 @@
+//! The multi-threaded barrier-windowed conservative executor.
+//!
+//! One OS thread per partition, exactly like MaSSF runs one MPI process
+//! per cluster node. Virtual time advances in fixed windows no longer
+//! than the minimum cross-partition link latency (MLL): within a window
+//! each partition processes its local events independently; events bound
+//! for other partitions are buffered and exchanged at the global barrier
+//! that ends the window. Conservative correctness requires every
+//! cross-partition event to arrive in a *later* window, which holds by
+//! construction when `window ≤ MLL`; the executor asserts it.
+
+use crate::event::{EventRecord, LpId, Reverse};
+use crate::model::{seed_events, Emitter, Model};
+use crate::stats::ExecutionStats;
+use crate::time::SimTime;
+use parking_lot::Mutex;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+
+/// Run `shards[p]` as partition `p`, one thread each, until `end_time`.
+///
+/// `assignment[lp]` gives each LP's partition; events for LP `l` are
+/// handled by shard `assignment[l]`. Handlers must only touch state of
+/// their target LP (see [`Model`]); under that contract the result is
+/// bit-identical to [`crate::run_sequential`] with an equivalent
+/// combined model.
+///
+/// Returns the shards (with their final state) and merged statistics.
+///
+/// # Panics
+/// Panics if `window` is zero, or if a model emits a cross-partition
+/// event with delay smaller than the window (a lookahead violation).
+pub fn run_parallel<M: Model>(
+    shards: Vec<M>,
+    lp_count: usize,
+    assignment: &[u32],
+    initial: Vec<(SimTime, LpId, M::Event)>,
+    end_time: SimTime,
+    window: SimTime,
+) -> (Vec<M>, ExecutionStats) {
+    assert!(window > SimTime::ZERO, "window must be positive");
+    assert_eq!(assignment.len(), lp_count);
+    let partitions = shards.len();
+    assert!(partitions >= 1);
+    assert!(
+        assignment.iter().all(|&p| (p as usize) < partitions),
+        "assignment references missing partition"
+    );
+
+    let n_windows = end_time.as_ns().div_ceil(window.as_ns()) as usize;
+
+    // Route seeded initial events to their home partitions.
+    let mut initial_per_part: Vec<Vec<EventRecord<M::Event>>> =
+        (0..partitions).map(|_| Vec::new()).collect();
+    for ev in seed_events(initial) {
+        let p = assignment[ev.target.index()] as usize;
+        initial_per_part[p].push(ev);
+    }
+
+    let inboxes: Vec<Mutex<Vec<EventRecord<M::Event>>>> =
+        (0..partitions).map(|_| Mutex::new(Vec::new())).collect();
+    let barrier = Barrier::new(partitions);
+    // A thread must never unilaterally panic between barriers — its
+    // peers would block in `Barrier::wait` forever. Lookahead
+    // violations instead raise this flag; all threads observe it at the
+    // next barrier and shut down together, and the parent reports.
+    let poison = AtomicBool::new(false);
+
+    struct ThreadResult<M> {
+        shard: M,
+        lp_events: Vec<u64>,
+        window_events: Vec<u64>, // this partition's count per window
+        total: u64,
+    }
+
+    let results: Vec<ThreadResult<M>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(partitions);
+        for (p, (shard, init)) in shards
+            .into_iter()
+            .zip(initial_per_part.into_iter())
+            .enumerate()
+        {
+            let inboxes = &inboxes;
+            let barrier = &barrier;
+            let poison = &poison;
+            handles.push(scope.spawn(move || {
+                let mut shard = shard;
+                let mut heap: BinaryHeap<Reverse<M::Event>> = init.into_iter().map(Reverse).collect();
+                let mut counters = vec![0u32; lp_count];
+                let mut out_buf: Vec<EventRecord<M::Event>> = Vec::new();
+                let mut lp_events = vec![0u64; lp_count];
+                let mut window_events = vec![0u64; n_windows];
+                let mut total = 0u64;
+
+                for w in 0..n_windows {
+                    let window_end = (window * (w as u64 + 1)).min(end_time);
+                    // Process this window's local events.
+                    while let Some(Reverse(head)) = heap.peek() {
+                        if head.time >= window_end {
+                            break;
+                        }
+                        let Reverse(ev) = heap.pop().expect("peeked");
+                        let lp = ev.target;
+                        debug_assert_eq!(assignment[lp.index()] as usize, p);
+                        {
+                            let mut emitter = Emitter::new(
+                                ev.time,
+                                lp.0,
+                                &mut counters[lp.index()],
+                                &mut out_buf,
+                            );
+                            shard.handle(lp, ev.time, ev.payload, &mut emitter);
+                        }
+                        lp_events[lp.index()] += 1;
+                        window_events[w] += 1;
+                        total += 1;
+                        for new_ev in out_buf.drain(..) {
+                            debug_assert!(new_ev.time >= ev.time);
+                            let dest = assignment[new_ev.target.index()] as usize;
+                            if dest == p {
+                                heap.push(Reverse(new_ev));
+                            } else {
+                                if new_ev.time < window_end {
+                                    // Lookahead violation (window exceeds
+                                    // the MLL). Flag it; everyone aborts
+                                    // together at the barrier.
+                                    poison.store(true, Ordering::Relaxed);
+                                }
+                                inboxes[dest].lock().push(new_ev);
+                            }
+                        }
+                    }
+                    // All sends for this window complete.
+                    barrier.wait();
+                    if poison.load(Ordering::Relaxed) {
+                        // Coordinated shutdown: every thread sees the
+                        // flag after the same barrier and returns, so no
+                        // peer is left blocking.
+                        break;
+                    }
+                    for ev in inboxes[p].lock().drain(..) {
+                        heap.push(Reverse(ev));
+                    }
+                    // Nobody may start sending into the next window until
+                    // every partition drained its inbox.
+                    barrier.wait();
+                }
+                ThreadResult {
+                    shard,
+                    lp_events,
+                    window_events,
+                    total,
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition thread panicked"))
+            .collect()
+    });
+    assert!(
+        !poison.load(Ordering::Relaxed),
+        "lookahead violation: a cross-partition event was scheduled inside \
+         the current window (window exceeds the partition's MLL?)"
+    );
+
+    let mut stats = ExecutionStats::new(lp_count);
+    stats.window = window;
+    stats.end_time = end_time;
+    let windows_per_bucket = n_windows.div_ceil(crate::stats::TRACE_BUCKETS).max(1);
+    let buckets = n_windows.div_ceil(windows_per_bucket);
+    stats.per_window_max = vec![0; n_windows];
+    stats.per_window_total = vec![0; n_windows];
+    stats.partition_totals = vec![0; partitions];
+    stats.coarse_trace = vec![vec![0; partitions]; buckets];
+    stats.windows_per_bucket = windows_per_bucket;
+    let mut shards_out = Vec::with_capacity(partitions);
+    for (p, r) in results.into_iter().enumerate() {
+        for (dst, src) in stats.lp_events.iter_mut().zip(&r.lp_events) {
+            *dst += src;
+        }
+        for (w, &c) in r.window_events.iter().enumerate() {
+            stats.per_window_max[w] = stats.per_window_max[w].max(c);
+            stats.per_window_total[w] += c;
+            stats.partition_totals[p] += c;
+            stats.coarse_trace[w / windows_per_bucket][p] += c;
+        }
+        stats.total_events += r.total;
+        shards_out.push(r.shard);
+    }
+    (shards_out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Token ring over n LPs with 1 ms hops; each shard records visits to
+    /// its own LPs (handlers touch only target-LP state).
+    struct RingShard {
+        n: u32,
+        hop: SimTime,
+        visits: Vec<(u32, u64)>, // (lp, time ns)
+    }
+
+    impl Model for RingShard {
+        type Event = u8;
+        fn handle(&mut self, target: LpId, now: SimTime, _ev: u8, out: &mut Emitter<'_, u8>) {
+            self.visits.push((target.0, now.as_ns()));
+            out.emit(self.hop, LpId((target.0 + 1) % self.n), 0);
+        }
+    }
+
+    fn ring_shards(n: u32, parts: usize, hop: SimTime) -> Vec<RingShard> {
+        (0..parts)
+            .map(|_| RingShard {
+                n,
+                hop,
+                visits: vec![],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_token_ring() {
+        let n = 6u32;
+        let hop = SimTime::from_ms(2);
+        let end = SimTime::from_ms(50);
+        let assignment = [0u32, 0, 1, 1, 2, 2];
+
+        // Sequential reference.
+        let mut seq_model = RingShard {
+            n,
+            hop,
+            visits: vec![],
+        };
+        let seq_stats = crate::run_sequential(
+            &mut seq_model,
+            n as usize,
+            vec![(SimTime::ZERO, LpId(0), 0)],
+            end,
+        );
+
+        // Parallel, window = hop latency (the MLL).
+        let (shards, par_stats) = run_parallel(
+            ring_shards(n, 3, hop),
+            n as usize,
+            &assignment,
+            vec![(SimTime::ZERO, LpId(0), 0)],
+            end,
+            hop,
+        );
+
+        assert_eq!(seq_stats.total_events, par_stats.total_events);
+        assert_eq!(seq_stats.lp_events, par_stats.lp_events);
+        // Merge + sort parallel visit logs; must equal sequential order.
+        let mut merged: Vec<(u32, u64)> =
+            shards.into_iter().flat_map(|s| s.visits).collect();
+        merged.sort_by_key(|&(_, t)| t);
+        assert_eq!(merged, seq_model.visits);
+    }
+
+    #[test]
+    fn window_counts_cover_all_events() {
+        let n = 4u32;
+        let hop = SimTime::from_ms(1);
+        let (_, stats) = run_parallel(
+            ring_shards(n, 2, hop),
+            n as usize,
+            &[0, 0, 1, 1],
+            vec![(SimTime::ZERO, LpId(0), 0)],
+            SimTime::from_ms(10),
+            hop,
+        );
+        let counted: u64 = stats.per_window_total.iter().sum();
+        assert_eq!(counted, stats.total_events);
+        let by_partition: u64 = stats.partition_totals.iter().sum();
+        assert_eq!(by_partition, stats.total_events);
+        assert_eq!(stats.window_count(), 10);
+    }
+
+    #[test]
+    fn single_partition_parallel_equals_sequential() {
+        let n = 5u32;
+        let hop = SimTime::from_ms(1);
+        let mut seq_model = RingShard {
+            n,
+            hop,
+            visits: vec![],
+        };
+        crate::run_sequential(
+            &mut seq_model,
+            n as usize,
+            vec![(SimTime::ZERO, LpId(2), 0)],
+            SimTime::from_ms(20),
+        );
+        let (shards, _) = run_parallel(
+            ring_shards(n, 1, hop),
+            n as usize,
+            &[0, 0, 0, 0, 0],
+            vec![(SimTime::ZERO, LpId(2), 0)],
+            SimTime::from_ms(20),
+            SimTime::from_ms(7), // window larger than hop is fine for 1 partition
+        );
+        assert_eq!(shards[0].visits, seq_model.visits);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead violation")]
+    fn lookahead_violation_detected() {
+        // Hop of 1 ms but window of 2 ms: cross-partition events land
+        // inside the current window.
+        let n = 2u32;
+        let hop = SimTime::from_ms(1);
+        run_parallel(
+            ring_shards(n, 2, hop),
+            n as usize,
+            &[0, 1],
+            vec![(SimTime::ZERO, LpId(0), 0)],
+            SimTime::from_ms(10),
+            SimTime::from_ms(2),
+        );
+    }
+
+    #[test]
+    fn events_beyond_end_time_not_processed() {
+        let n = 2u32;
+        let hop = SimTime::from_ms(3);
+        let (_, stats) = run_parallel(
+            ring_shards(n, 2, hop),
+            n as usize,
+            &[0, 1],
+            vec![(SimTime::ZERO, LpId(0), 0)],
+            SimTime::from_ms(7),
+            hop,
+        );
+        // Events at t=0,3,6 run; t=9 is beyond end.
+        assert_eq!(stats.total_events, 3);
+    }
+}

@@ -1,0 +1,294 @@
+//! Sequential executors.
+//!
+//! [`run_sequential`] is the reference executor (one global heap).
+//! [`run_sequential_windowed`] processes the same global order but
+//! additionally attributes every event to a `(window, partition)` cell,
+//! producing the trace the cluster performance model consumes. Because
+//! window boundaries never change event order, both produce identical
+//! model states.
+
+use crate::event::{EventRecord, LpId, Reverse};
+use crate::model::{seed_events, Emitter, Model};
+use crate::stats::{ExecutionStats, WindowAccumulator};
+use crate::time::SimTime;
+use std::collections::BinaryHeap;
+
+/// Run `model` until `end_time` (exclusive), starting from `initial`
+/// `(time, target, payload)` events. Returns per-LP statistics.
+pub fn run_sequential<M: Model>(
+    model: &mut M,
+    lp_count: usize,
+    initial: Vec<(SimTime, LpId, M::Event)>,
+    end_time: SimTime,
+) -> ExecutionStats {
+    run_inner(model, lp_count, initial, end_time, None)
+}
+
+/// Like [`run_sequential`], but also count events per `(window,
+/// partition)` given the LP→partition `assignment` and the window length.
+///
+/// # Panics
+/// Panics if `window` is zero or `assignment.len() != lp_count`.
+pub fn run_sequential_windowed<M: Model>(
+    model: &mut M,
+    lp_count: usize,
+    initial: Vec<(SimTime, LpId, M::Event)>,
+    end_time: SimTime,
+    window: SimTime,
+    assignment: &[u32],
+    partitions: usize,
+) -> ExecutionStats {
+    assert!(window > SimTime::ZERO, "window must be positive");
+    assert_eq!(assignment.len(), lp_count);
+    run_inner(
+        model,
+        lp_count,
+        initial,
+        end_time,
+        Some((window, assignment, partitions)),
+    )
+}
+
+fn run_inner<M: Model>(
+    model: &mut M,
+    lp_count: usize,
+    initial: Vec<(SimTime, LpId, M::Event)>,
+    end_time: SimTime,
+    windowed: Option<(SimTime, &[u32], usize)>,
+) -> ExecutionStats {
+    let mut stats = ExecutionStats::new(lp_count);
+    let mut heap: BinaryHeap<Reverse<M::Event>> = BinaryHeap::new();
+    for ev in seed_events(initial) {
+        heap.push(Reverse(ev));
+    }
+    let mut counters = vec![0u32; lp_count];
+    let mut out_buf: Vec<EventRecord<M::Event>> = Vec::new();
+
+    let mut acc = windowed.map(|(window, _, partitions)| {
+        let n_windows = end_time.as_ns().div_ceil(window.as_ns()) as usize;
+        WindowAccumulator::new(partitions, n_windows)
+    });
+
+    while let Some(Reverse(ev)) = heap.pop() {
+        if ev.time >= end_time {
+            break;
+        }
+        let lp = ev.target;
+        debug_assert!(lp.index() < lp_count, "event for unknown LP {lp:?}");
+        {
+            let mut emitter = Emitter::new(ev.time, lp.0, &mut counters[lp.index()], &mut out_buf);
+            model.handle(lp, ev.time, ev.payload, &mut emitter);
+        }
+        stats.lp_events[lp.index()] += 1;
+        stats.total_events += 1;
+        if let (Some(acc), Some((window, assignment, _))) = (acc.as_mut(), windowed) {
+            let w = (ev.time.as_ns() / window.as_ns()) as usize;
+            let p = assignment[lp.index()] as usize;
+            acc.record(w, p);
+        }
+        for new_ev in out_buf.drain(..) {
+            debug_assert!(new_ev.time >= ev.time, "event scheduled in the past");
+            heap.push(Reverse(new_ev));
+        }
+    }
+    if let (Some(acc), Some((window, _, _))) = (acc, windowed) {
+        acc.finish(window, &mut stats);
+    }
+    stats.end_time = end_time;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Each LP forwards a token to the next LP after 1 ms, recording the
+    /// visit order.
+    struct Ring {
+        n: u32,
+        visits: Vec<u32>,
+    }
+
+    impl Model for Ring {
+        type Event = u8;
+        fn handle(&mut self, target: LpId, _now: SimTime, _ev: u8, out: &mut Emitter<'_, u8>) {
+            self.visits.push(target.0);
+            out.emit(SimTime::from_ms(1), LpId((target.0 + 1) % self.n), 0);
+        }
+    }
+
+    #[test]
+    fn token_ring_progresses_in_time_order() {
+        let mut m = Ring { n: 4, visits: vec![] };
+        let stats = run_sequential(
+            &mut m,
+            4,
+            vec![(SimTime::ZERO, LpId(0), 0)],
+            SimTime::from_ms(10),
+        );
+        assert_eq!(m.visits, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1]);
+        assert_eq!(stats.total_events, 10);
+        assert_eq!(stats.lp_events, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn end_time_is_exclusive() {
+        let mut m = Ring { n: 2, visits: vec![] };
+        let stats = run_sequential(
+            &mut m,
+            2,
+            vec![(SimTime::ZERO, LpId(0), 0)],
+            SimTime::from_ms(1),
+        );
+        // Only the event at t=0 runs; the one at exactly 1 ms is excluded.
+        assert_eq!(stats.total_events, 1);
+    }
+
+    #[test]
+    fn simultaneous_events_process_in_injection_order() {
+        struct Recorder(Vec<u32>);
+        impl Model for Recorder {
+            type Event = ();
+            fn handle(&mut self, t: LpId, _: SimTime, _: (), _: &mut Emitter<'_, ()>) {
+                self.0.push(t.0);
+            }
+        }
+        let mut m = Recorder(vec![]);
+        run_sequential(
+            &mut m,
+            3,
+            vec![
+                (SimTime::from_ms(1), LpId(2), ()),
+                (SimTime::from_ms(1), LpId(0), ()),
+                (SimTime::from_ms(1), LpId(1), ()),
+            ],
+            SimTime::from_ms(2),
+        );
+        assert_eq!(m.0, vec![2, 0, 1], "ties broken by injection order");
+    }
+
+    #[test]
+    fn windowed_counts_attribute_correctly() {
+        let mut m = Ring { n: 2, visits: vec![] };
+        // LP0 -> partition 0, LP1 -> partition 1; 1 ms window; events at
+        // t=0(LP0),1(LP1),2(LP0),3(LP1) within end=4ms.
+        let stats = run_sequential_windowed(
+            &mut m,
+            2,
+            vec![(SimTime::ZERO, LpId(0), 0)],
+            SimTime::from_ms(4),
+            SimTime::from_ms(1),
+            &[0, 1],
+            2,
+        );
+        assert_eq!(stats.window_count(), 4);
+        assert_eq!(stats.per_window_max, vec![1, 1, 1, 1]);
+        assert_eq!(stats.per_window_total, vec![1, 1, 1, 1]);
+        assert_eq!(stats.partition_totals, vec![2, 2]);
+        assert_eq!(stats.critical_path_events(), 4);
+    }
+
+    #[test]
+    fn windowed_and_plain_runs_agree_on_state() {
+        let mut a = Ring { n: 5, visits: vec![] };
+        let mut b = Ring { n: 5, visits: vec![] };
+        let init = vec![
+            (SimTime::ZERO, LpId(0), 0u8),
+            (SimTime::from_ms(2), LpId(3), 0u8),
+        ];
+        run_sequential(&mut a, 5, init.clone(), SimTime::from_ms(20));
+        run_sequential_windowed(
+            &mut b,
+            5,
+            init,
+            SimTime::from_ms(20),
+            SimTime::from_ms(3),
+            &[0, 0, 1, 1, 1],
+            2,
+        );
+        assert_eq!(a.visits, b.visits);
+    }
+
+    #[test]
+    fn event_rate_normalization() {
+        let mut m = Ring { n: 2, visits: vec![] };
+        let stats = run_sequential_windowed(
+            &mut m,
+            2,
+            vec![(SimTime::ZERO, LpId(0), 0)],
+            SimTime::from_secs(1),
+            SimTime::from_ms(100),
+            &[0, 1],
+            2,
+        );
+        let rates = stats.partition_event_rates();
+        assert_eq!(rates.len(), 2);
+        assert!((rates[0] + rates[1] - stats.total_events as f64).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::stats::TRACE_BUCKETS;
+
+    /// Self-ticking LP: one event per millisecond.
+    struct Ticker;
+    impl crate::model::Model for Ticker {
+        type Event = ();
+        fn handle(
+            &mut self,
+            t: LpId,
+            _: SimTime,
+            _: (),
+            out: &mut crate::model::Emitter<'_, ()>,
+        ) {
+            out.emit(SimTime::from_ms(1), t, ());
+        }
+    }
+
+    #[test]
+    fn coarse_trace_covers_long_runs_with_bounded_buckets() {
+        let mut m = Ticker;
+        // 2000 windows of 1 ms: must be bucketed down to ≤ TRACE_BUCKETS.
+        let stats = run_sequential_windowed(
+            &mut m,
+            1,
+            vec![(SimTime::ZERO, LpId(0), ())],
+            SimTime::from_ms(2000),
+            SimTime::from_ms(1),
+            &[0],
+            1,
+        );
+        assert_eq!(stats.window_count(), 2000);
+        assert!(stats.coarse_trace.len() <= TRACE_BUCKETS);
+        assert!(stats.windows_per_bucket >= 2);
+        let bucket_total: u64 = stats.coarse_trace.iter().flatten().sum();
+        assert_eq!(bucket_total, stats.total_events);
+    }
+
+    #[test]
+    fn event_on_window_boundary_lands_in_later_window() {
+        let mut m = Ticker;
+        // Events at t = 0, 1, 2, 3 ms with 2 ms windows: the t = 2 ms
+        // event belongs to window 1 (windows are half-open [t0, t1)).
+        let stats = run_sequential_windowed(
+            &mut m,
+            1,
+            vec![(SimTime::ZERO, LpId(0), ())],
+            SimTime::from_ms(4),
+            SimTime::from_ms(2),
+            &[0],
+            1,
+        );
+        assert_eq!(stats.per_window_total, vec![2, 2]);
+    }
+
+    #[test]
+    fn empty_initial_events_is_a_clean_noop() {
+        let mut m = Ticker;
+        let stats = run_sequential(&mut m, 3, vec![], SimTime::from_secs(1));
+        assert_eq!(stats.total_events, 0);
+        assert!(stats.lp_events.iter().all(|&c| c == 0));
+    }
+}

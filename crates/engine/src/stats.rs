@@ -1,0 +1,215 @@
+//! Execution statistics: the raw material of the paper's evaluation.
+//!
+//! The paper measures load as "the event rate of the simulation kernel
+//! (essentially one per network packet)" per engine node (Section 4.1).
+//! The executors record per-LP totals and, when windowed, per-window
+//! aggregates. Because a fine window (≈ MLL) over a long run can mean
+//! hundreds of thousands of windows, the per-window × per-partition
+//! matrix is **not** materialized; instead the executors stream three
+//! aggregates sufficient for the paper's metrics:
+//!
+//! * `per_window_max[w]` — the busiest partition's event count in window
+//!   `w` (drives the barrier-synchronized runtime model: every window
+//!   costs `max_p events + sync`),
+//! * `per_window_total[w]` — all events in window `w`,
+//! * `partition_totals[p]` — events per partition (load imbalance), and
+//! * a bucketed per-partition time series (≤ [`TRACE_BUCKETS`] buckets)
+//!   for load-variation plots (the paper's Figure 3).
+
+use crate::time::SimTime;
+
+/// Maximum number of buckets kept in the coarse per-partition trace.
+pub const TRACE_BUCKETS: usize = 512;
+
+/// Statistics from one simulation run.
+#[derive(Debug, Clone)]
+pub struct ExecutionStats {
+    /// Events handled per LP.
+    pub lp_events: Vec<u64>,
+    /// Window length used (zero when not windowed).
+    pub window: SimTime,
+    /// Busiest partition's event count, per window.
+    pub per_window_max: Vec<u64>,
+    /// Total events per window.
+    pub per_window_total: Vec<u64>,
+    /// Total events per partition.
+    pub partition_totals: Vec<u64>,
+    /// `coarse_trace[b][p]`: events of partition `p` in bucket `b`
+    /// (each bucket spans `windows_per_bucket` windows).
+    pub coarse_trace: Vec<Vec<u64>>,
+    /// Windows per coarse bucket.
+    pub windows_per_bucket: usize,
+    /// Virtual time at which the run stopped.
+    pub end_time: SimTime,
+    /// Total events handled.
+    pub total_events: u64,
+}
+
+impl ExecutionStats {
+    pub(crate) fn new(lp_count: usize) -> Self {
+        ExecutionStats {
+            lp_events: vec![0; lp_count],
+            window: SimTime::ZERO,
+            per_window_max: Vec::new(),
+            per_window_total: Vec::new(),
+            partition_totals: Vec::new(),
+            coarse_trace: Vec::new(),
+            windows_per_bucket: 1,
+            end_time: SimTime::ZERO,
+            total_events: 0,
+        }
+    }
+
+    /// Per-partition event *rate* (events per virtual second).
+    pub fn partition_event_rates(&self) -> Vec<f64> {
+        let secs = self.end_time.as_secs_f64();
+        if secs == 0.0 {
+            return vec![0.0; self.partition_totals.len()];
+        }
+        self.partition_totals
+            .iter()
+            .map(|&t| t as f64 / secs)
+            .collect()
+    }
+
+    /// Number of synchronization windows executed.
+    pub fn window_count(&self) -> usize {
+        self.per_window_max.len()
+    }
+
+    /// Sum over windows of the busiest partition's event count — the
+    /// critical-path event work of a barrier-synchronized run.
+    pub fn critical_path_events(&self) -> u64 {
+        self.per_window_max.iter().sum()
+    }
+}
+
+/// Streaming accumulator used by the executors to build windowed stats
+/// without materializing the window × partition matrix.
+#[derive(Debug, Clone)]
+pub(crate) struct WindowAccumulator {
+    partitions: usize,
+    n_windows: usize,
+    windows_per_bucket: usize,
+    current_window: usize,
+    current_counts: Vec<u64>,
+    per_window_max: Vec<u64>,
+    per_window_total: Vec<u64>,
+    partition_totals: Vec<u64>,
+    coarse_trace: Vec<Vec<u64>>,
+}
+
+impl WindowAccumulator {
+    pub(crate) fn new(partitions: usize, n_windows: usize) -> Self {
+        let windows_per_bucket = n_windows.div_ceil(TRACE_BUCKETS).max(1);
+        let buckets = n_windows.div_ceil(windows_per_bucket);
+        WindowAccumulator {
+            partitions,
+            n_windows,
+            windows_per_bucket,
+            current_window: 0,
+            current_counts: vec![0; partitions],
+            per_window_max: Vec::with_capacity(n_windows),
+            per_window_total: Vec::with_capacity(n_windows),
+            partition_totals: vec![0; partitions],
+            coarse_trace: vec![vec![0; partitions]; buckets],
+        }
+    }
+
+    /// Record one event of partition `p` in window `w`. Windows must be
+    /// non-decreasing (guaranteed by time-ordered execution).
+    pub(crate) fn record(&mut self, w: usize, p: usize) {
+        debug_assert!(w >= self.current_window, "windows must advance");
+        while self.current_window < w {
+            self.flush_current();
+        }
+        self.current_counts[p] += 1;
+        self.partition_totals[p] += 1;
+        if let Some(bucket) = self.coarse_trace.get_mut(w / self.windows_per_bucket) {
+            bucket[p] += 1;
+        }
+    }
+
+    fn flush_current(&mut self) {
+        let max = self.current_counts.iter().copied().max().unwrap_or(0);
+        let total = self.current_counts.iter().sum();
+        self.per_window_max.push(max);
+        self.per_window_total.push(total);
+        for c in self.current_counts.iter_mut() {
+            *c = 0;
+        }
+        self.current_window += 1;
+    }
+
+    /// Finish: flush through `n_windows` and write into `stats`.
+    pub(crate) fn finish(mut self, window: SimTime, stats: &mut ExecutionStats) {
+        while self.current_window < self.n_windows {
+            self.flush_current();
+        }
+        stats.window = window;
+        stats.per_window_max = self.per_window_max;
+        stats.per_window_total = self.per_window_total;
+        stats.partition_totals = self.partition_totals;
+        stats.coarse_trace = self.coarse_trace;
+        stats.windows_per_bucket = self.windows_per_bucket;
+        let _ = self.partitions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_tracks_max_total_and_totals() {
+        let mut acc = WindowAccumulator::new(3, 4);
+        // window 0: p0×2, p1×1
+        acc.record(0, 0);
+        acc.record(0, 0);
+        acc.record(0, 1);
+        // window 2 (window 1 empty): p2×3
+        acc.record(2, 2);
+        acc.record(2, 2);
+        acc.record(2, 2);
+        let mut stats = ExecutionStats::new(0);
+        acc.finish(SimTime::from_ms(1), &mut stats);
+        assert_eq!(stats.per_window_max, vec![2, 0, 3, 0]);
+        assert_eq!(stats.per_window_total, vec![3, 0, 3, 0]);
+        assert_eq!(stats.partition_totals, vec![2, 1, 3]);
+        assert_eq!(stats.critical_path_events(), 5);
+        assert_eq!(stats.window_count(), 4);
+    }
+
+    #[test]
+    fn coarse_trace_buckets_many_windows() {
+        let n_windows = TRACE_BUCKETS * 3;
+        let mut acc = WindowAccumulator::new(2, n_windows);
+        for w in 0..n_windows {
+            acc.record(w, w % 2);
+        }
+        let mut stats = ExecutionStats::new(0);
+        acc.finish(SimTime::from_ms(1), &mut stats);
+        assert_eq!(stats.windows_per_bucket, 3);
+        assert_eq!(stats.coarse_trace.len(), TRACE_BUCKETS);
+        let bucket_sum: u64 = stats.coarse_trace.iter().flatten().sum();
+        assert_eq!(bucket_sum, n_windows as u64);
+        assert_eq!(stats.per_window_max.len(), n_windows);
+    }
+
+    #[test]
+    fn rates_divide_by_virtual_seconds() {
+        let mut s = ExecutionStats::new(0);
+        s.partition_totals = vec![10, 30];
+        s.end_time = SimTime::from_secs(2);
+        assert_eq!(s.partition_event_rates(), vec![5.0, 15.0]);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = ExecutionStats::new(3);
+        assert!(s.partition_totals.is_empty());
+        assert!(s.partition_event_rates().is_empty());
+        assert_eq!(s.window_count(), 0);
+        assert_eq!(s.critical_path_events(), 0);
+    }
+}

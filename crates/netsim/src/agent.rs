@@ -1,0 +1,123 @@
+//! The live-traffic Agent.
+//!
+//! In MaSSF, application processes run for real; a `WrapSocket` library
+//! intercepts their socket calls and hands the streams to an Agent that
+//! injects them into the simulation (Section 2.1). Reproducing process
+//! interception is out of scope (DESIGN.md substitution #2); this Agent
+//! keeps the same role with a scripted interface: traffic demands are
+//! registered (by workload models, trace replayers, or tests) and turned
+//! into engine events at simulation start.
+
+use crate::packet::NetEvent;
+use crate::world::TransportKind;
+use massf_engine::{LpId, SimTime};
+use massf_topology::NodeId;
+
+/// One registered traffic demand.
+#[derive(Debug, Clone)]
+pub struct Injection {
+    pub at: SimTime,
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub bytes: u64,
+    pub transport: TransportKind,
+}
+
+/// Collects traffic demands and converts them to initial engine events.
+#[derive(Debug, Clone, Default)]
+pub struct Agent {
+    injections: Vec<Injection>,
+}
+
+impl Agent {
+    /// An empty agent.
+    pub fn new() -> Self {
+        Agent::default()
+    }
+
+    /// Register a TCP transfer of `bytes` from `src` to `dst` at `at`.
+    pub fn inject_tcp(&mut self, at: SimTime, src: NodeId, dst: NodeId, bytes: u64) {
+        self.injections.push(Injection {
+            at,
+            src,
+            dst,
+            bytes,
+            transport: TransportKind::Tcp,
+        });
+    }
+
+    /// Register a UDP datagram (`bytes ≤ MSS` recommended).
+    pub fn inject_udp(&mut self, at: SimTime, src: NodeId, dst: NodeId, bytes: u32) {
+        self.injections.push(Injection {
+            at,
+            src,
+            dst,
+            bytes: bytes as u64,
+            transport: TransportKind::Udp,
+        });
+    }
+
+    /// Number of registered demands.
+    pub fn len(&self) -> usize {
+        self.injections.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+
+    /// All registered demands.
+    pub fn injections(&self) -> &[Injection] {
+        &self.injections
+    }
+
+    /// Convert to initial events for the engine (sorted by time for
+    /// readability; the engine orders them anyway).
+    pub fn into_initial_events(mut self) -> Vec<(SimTime, LpId, NetEvent)> {
+        self.injections.sort_by_key(|i| i.at);
+        self.injections
+            .into_iter()
+            .map(|i| {
+                let ev = match i.transport {
+                    TransportKind::Tcp => NetEvent::StartFlow {
+                        dst: i.dst,
+                        bytes: i.bytes,
+                    },
+                    TransportKind::Udp => NetEvent::SendDatagram {
+                        dst: i.dst,
+                        bytes: i.bytes as u32,
+                        meta: 0,
+                    },
+                };
+                (i.at, LpId(i.src.0), ev)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injections_become_events_sorted_by_time() {
+        let mut agent = Agent::new();
+        agent.inject_tcp(SimTime::from_ms(5), NodeId(1), NodeId(2), 1000);
+        agent.inject_udp(SimTime::from_ms(1), NodeId(3), NodeId(4), 100);
+        assert_eq!(agent.len(), 2);
+        let events = agent.into_initial_events();
+        assert_eq!(events[0].0, SimTime::from_ms(1));
+        assert_eq!(events[0].1, LpId(3));
+        assert!(matches!(events[0].2, NetEvent::SendDatagram { bytes: 100, .. }));
+        assert_eq!(events[1].0, SimTime::from_ms(5));
+        assert!(matches!(events[1].2, NetEvent::StartFlow { bytes: 1000, .. }));
+    }
+
+    #[test]
+    fn empty_agent() {
+        let agent = Agent::new();
+        assert!(agent.is_empty());
+        assert!(agent.into_initial_events().is_empty());
+    }
+}

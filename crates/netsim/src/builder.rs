@@ -1,0 +1,232 @@
+//! Simulation assembly and execution front-end.
+//!
+//! [`NetSimBuilder`] ties a topology, a path resolver, initial traffic
+//! (from [`crate::Agent`] scripts and workload timers) and application
+//! logic together, and runs the result on any of the engine's executors.
+
+use crate::agent::Agent;
+use crate::packet::NetEvent;
+use crate::profiling::ProfileData;
+use crate::world::{AppLogic, NetWorld, SharedNet};
+use massf_engine::{run_parallel, run_sequential, run_sequential_windowed, ExecutionStats, LpId, SimTime};
+use massf_routing::PathResolver;
+use massf_topology::Network;
+use std::sync::Arc;
+
+/// Results of one simulation run.
+pub struct SimOutput<A> {
+    /// Engine statistics (per-LP event counts; per-window per-partition
+    /// counts for windowed runs).
+    pub stats: ExecutionStats,
+    /// Merged traffic profile.
+    pub profile: ProfileData,
+    /// Application logic instances (one for sequential runs, one per
+    /// partition for parallel runs).
+    pub apps: Vec<A>,
+}
+
+/// Builds and runs packet-level simulations.
+pub struct NetSimBuilder {
+    shared: Arc<SharedNet>,
+    initial: Vec<(SimTime, LpId, NetEvent)>,
+}
+
+impl NetSimBuilder {
+    /// A builder over `net` routed by `resolver`.
+    pub fn new(net: Network, resolver: Arc<dyn PathResolver>) -> Self {
+        NetSimBuilder {
+            shared: SharedNet::new(net, resolver),
+            initial: Vec::new(),
+        }
+    }
+
+    /// The shared network handle (topology + routing + link constants).
+    pub fn shared(&self) -> Arc<SharedNet> {
+        self.shared.clone()
+    }
+
+    /// Append an agent's scripted traffic.
+    pub fn add_agent(&mut self, agent: Agent) -> &mut Self {
+        self.initial.extend(agent.into_initial_events());
+        self
+    }
+
+    /// Append one raw initial event (workloads use this for their
+    /// kick-off timers).
+    pub fn add_initial(&mut self, at: SimTime, lp: LpId, event: NetEvent) -> &mut Self {
+        self.initial.push((at, lp, event));
+        self
+    }
+
+    /// Append many raw initial events.
+    pub fn add_initial_events(
+        &mut self,
+        events: impl IntoIterator<Item = (SimTime, LpId, NetEvent)>,
+    ) -> &mut Self {
+        self.initial.extend(events);
+        self
+    }
+
+    /// Run on the sequential reference executor.
+    pub fn run_sequential<A: AppLogic>(&self, app: A, end: SimTime) -> SimOutput<A> {
+        let mut world = NetWorld::new(self.shared.clone(), app);
+        let stats = run_sequential(
+            &mut world,
+            self.shared.lp_count(),
+            self.initial.clone(),
+            end,
+        );
+        let (profile, app) = world.into_parts();
+        SimOutput {
+            stats,
+            profile,
+            apps: vec![app],
+        }
+    }
+
+    /// Run sequentially while attributing events to `(window, partition)`
+    /// cells — the trace-driven mode behind the cluster performance
+    /// model (DESIGN.md substitution #1).
+    pub fn run_sequential_windowed<A: AppLogic>(
+        &self,
+        app: A,
+        end: SimTime,
+        window: SimTime,
+        assignment: &[u32],
+        partitions: usize,
+    ) -> SimOutput<A> {
+        let mut world = NetWorld::new(self.shared.clone(), app);
+        let stats = run_sequential_windowed(
+            &mut world,
+            self.shared.lp_count(),
+            self.initial.clone(),
+            end,
+            window,
+            assignment,
+            partitions,
+        );
+        let (profile, app) = world.into_parts();
+        SimOutput {
+            stats,
+            profile,
+            apps: vec![app],
+        }
+    }
+
+    /// Run on the real multi-threaded conservative executor, one thread
+    /// per partition. `window` must not exceed the minimum latency of
+    /// any cross-partition link (the achieved MLL).
+    pub fn run_parallel<A: AppLogic + Clone>(
+        &self,
+        app: A,
+        end: SimTime,
+        window: SimTime,
+        assignment: &[u32],
+        partitions: usize,
+    ) -> SimOutput<A> {
+        let shards: Vec<NetWorld<A>> = (0..partitions)
+            .map(|_| NetWorld::new(self.shared.clone(), app.clone()))
+            .collect();
+        let (shards, stats) = run_parallel(
+            shards,
+            self.shared.lp_count(),
+            assignment,
+            self.initial.clone(),
+            end,
+            window,
+        );
+        let mut profile = ProfileData::new(
+            self.shared.net.node_count(),
+            self.shared.net.links.len(),
+        );
+        let mut apps = Vec::with_capacity(partitions);
+        for shard in shards {
+            let (p, a) = shard.into_parts();
+            profile.merge(&p);
+            apps.push(a);
+        }
+        SimOutput {
+            stats,
+            profile,
+            apps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::NoApp;
+    use massf_routing::{CostMetric, FlatResolver};
+    use massf_topology::{generate_flat_network, FlatTopologyConfig};
+    use massf_topology::NodeId;
+
+    fn builder_with_traffic() -> (NetSimBuilder, Vec<NodeId>) {
+        let net = generate_flat_network(&FlatTopologyConfig::tiny());
+        let hosts = net.host_ids();
+        let resolver = Arc::new(FlatResolver::new(&net, CostMetric::Latency));
+        let mut b = NetSimBuilder::new(net, resolver);
+        let mut agent = Agent::new();
+        for i in 0..10 {
+            agent.inject_tcp(
+                SimTime::from_ms(i as u64),
+                hosts[i],
+                hosts[hosts.len() - 1 - i],
+                20_000,
+            );
+        }
+        b.add_agent(agent);
+        (b, hosts)
+    }
+
+    #[test]
+    fn sequential_run_completes_flows() {
+        let (b, _) = builder_with_traffic();
+        let out = b.run_sequential(NoApp, SimTime::from_secs(30));
+        assert_eq!(out.profile.completed_flows, 10);
+        assert!(out.stats.total_events > 100);
+    }
+
+    #[test]
+    fn windowed_matches_plain_sequential() {
+        let (b, _) = builder_with_traffic();
+        let n = b.shared().lp_count();
+        let plain = b.run_sequential(NoApp, SimTime::from_secs(10));
+        let assignment: Vec<u32> = (0..n).map(|i| (i % 4) as u32).collect();
+        let windowed = b.run_sequential_windowed(
+            NoApp,
+            SimTime::from_secs(10),
+            SimTime::from_ms(1),
+            &assignment,
+            4,
+        );
+        assert_eq!(plain.stats.total_events, windowed.stats.total_events);
+        assert_eq!(plain.profile, windowed.profile);
+        assert_eq!(plain.stats.lp_events, windowed.stats.lp_events);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let (b, _) = builder_with_traffic();
+        let shared = b.shared();
+        let n = shared.lp_count();
+        let seq = b.run_sequential(NoApp, SimTime::from_secs(5));
+
+        // Partition: 2 parts split by node id parity of router index —
+        // any split works, but the window must respect the cut MLL.
+        let assignment: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+        let mut mll = f64::INFINITY;
+        for link in &shared.net.links {
+            if assignment[link.a.index()] != assignment[link.b.index()] {
+                mll = mll.min(link.latency_ms);
+            }
+        }
+        let window = SimTime::from_ms_f64(mll);
+        assert!(window > SimTime::ZERO);
+
+        let par = b.run_parallel(NoApp, SimTime::from_secs(5), window, &assignment, 2);
+        assert_eq!(seq.stats.total_events, par.stats.total_events);
+        assert_eq!(seq.stats.lp_events, par.stats.lp_events);
+        assert_eq!(seq.profile, par.profile);
+    }
+}

@@ -1,0 +1,35 @@
+//! # massf-netsim
+//!
+//! Packet-level network simulation for the `massf-rs` reproduction of
+//! *Realistic Large-Scale Online Network Simulation* (Liu & Chien,
+//! SC 2004) — the MaSSF network-modeling layer.
+//!
+//! Every router and host of a [`massf_topology::Network`] is one logical
+//! process of the [`massf_engine`] kernel. Links are modeled as
+//! bandwidth-limited FIFO servers with propagation delay and drop-tail
+//! buffers; packets traverse them hop by hop, so queueing and loss
+//! behavior is per-hop faithful. Transport is a TCP with slow start,
+//! AIMD congestion avoidance, fast retransmit, and RTO timers ([`tcp`]),
+//! plus plain UDP datagrams.
+//!
+//! Application traffic enters through the [`world::AppLogic`] trait —
+//! the stand-in for MaSSF's WrapSocket/Agent live-traffic machinery
+//! ([`agent`] provides the scripted-injection agent) — and through it
+//! the `massf-workloads` crate drives HTTP background traffic and the
+//! Grid application models.
+//!
+//! Per-node and per-link packet counters ([`profiling`]) provide the
+//! traffic profiles consumed by the paper's PROF/HPROF mappers.
+
+pub mod agent;
+pub mod builder;
+pub mod packet;
+pub mod profiling;
+pub mod tcp;
+pub mod world;
+
+pub use agent::Agent;
+pub use builder::{NetSimBuilder, SimOutput};
+pub use packet::{FlowId, NetEvent, Packet, PacketKind};
+pub use profiling::ProfileData;
+pub use world::{AppLogic, NetWorld, NoApp, SharedNet, SimApi, TransportKind};

@@ -1,0 +1,142 @@
+//! Packets, flows, and the network event type.
+
+use massf_topology::NodeId;
+use std::sync::Arc;
+
+/// Globally unique flow identifier: source host id in the high 32 bits,
+/// a per-host counter in the low 32. Deterministic because per-host
+/// counters are part of per-LP state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+impl FlowId {
+    /// Build from source host and per-host sequence number.
+    pub fn new(src: NodeId, counter: u32) -> Self {
+        FlowId(((src.0 as u64) << 32) | counter as u64)
+    }
+
+    /// The source host that created the flow.
+    pub fn source(self) -> NodeId {
+        NodeId((self.0 >> 32) as u32)
+    }
+}
+
+/// What a packet is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// TCP data segment; `seq` is the segment number.
+    Data,
+    /// TCP cumulative acknowledgment; `seq` is the next expected segment.
+    Ack,
+    /// Connectionless datagram (UDP).
+    Datagram,
+}
+
+/// A simulated packet. Paths are source routes resolved at flow setup
+/// (see `massf-routing`); `hop` indexes the packet's current position.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    pub flow: FlowId,
+    pub kind: PacketKind,
+    pub seq: u32,
+    /// Bytes on the wire (headers included).
+    pub size_bytes: u32,
+    /// Forward node path, `path[0]` = source host, last = destination.
+    pub path: Arc<[NodeId]>,
+    /// Reverse path for ACKs (destination's view), shipped with data
+    /// packets so the receiver needs no resolver access.
+    pub rpath: Arc<[NodeId]>,
+    /// Index of the node currently holding the packet.
+    pub hop: u16,
+    /// Application-opaque metadata carried by datagrams (workflow edge
+    /// ids, request tokens, …); zero for TCP packets.
+    pub meta: u64,
+}
+
+impl Packet {
+    /// The node this packet is destined for.
+    pub fn destination(&self) -> NodeId {
+        *self.path.last().expect("paths are non-empty")
+    }
+
+    /// The next node on the path, if any.
+    pub fn next_node(&self) -> Option<NodeId> {
+        self.path.get(self.hop as usize + 1).copied()
+    }
+
+    /// Has the packet reached its destination?
+    pub fn at_destination(&self) -> bool {
+        self.hop as usize + 1 == self.path.len()
+    }
+}
+
+/// Events handled by the network world.
+#[derive(Debug, Clone)]
+pub enum NetEvent {
+    /// A packet finishes propagation and arrives at the target LP.
+    Arrive(Packet),
+    /// TCP retransmission timer for `(flow, epoch)`; stale epochs are
+    /// ignored.
+    RtoTimer { flow: FlowId, epoch: u32 },
+    /// An application timer set through [`crate::world::SimApi`].
+    AppTimer { token: u64 },
+    /// Ask the target host to open a TCP flow (used for scripted
+    /// injections by the [`crate::agent::Agent`]).
+    StartFlow { dst: NodeId, bytes: u64 },
+    /// Ask the target host to send one UDP datagram.
+    SendDatagram { dst: NodeId, bytes: u32, meta: u64 },
+}
+
+/// Maximum segment size (TCP payload bytes per data packet).
+pub const MSS: u32 = 1460;
+/// Wire overhead per packet (IP + TCP headers).
+pub const HEADER_BYTES: u32 = 40;
+/// Size of a pure ACK on the wire.
+pub const ACK_BYTES: u32 = HEADER_BYTES;
+
+/// Number of MSS-sized segments needed for `bytes` of payload.
+pub fn segments_for(bytes: u64) -> u32 {
+    bytes.div_ceil(MSS as u64).max(1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_id_packs_source_and_counter() {
+        let f = FlowId::new(NodeId(7), 42);
+        assert_eq!(f.source(), NodeId(7));
+        assert_eq!(f.0 & 0xFFFF_FFFF, 42);
+    }
+
+    #[test]
+    fn packet_path_navigation() {
+        let path: Arc<[NodeId]> = vec![NodeId(1), NodeId(2), NodeId(3)].into();
+        let mut p = Packet {
+            flow: FlowId::new(NodeId(1), 0),
+            kind: PacketKind::Data,
+            seq: 0,
+            size_bytes: 1500,
+            path: path.clone(),
+            rpath: vec![NodeId(3), NodeId(2), NodeId(1)].into(),
+            hop: 0,
+            meta: 0,
+        };
+        assert_eq!(p.destination(), NodeId(3));
+        assert_eq!(p.next_node(), Some(NodeId(2)));
+        assert!(!p.at_destination());
+        p.hop = 2;
+        assert!(p.at_destination());
+        assert_eq!(p.next_node(), None);
+    }
+
+    #[test]
+    fn segment_math() {
+        assert_eq!(segments_for(1), 1);
+        assert_eq!(segments_for(1460), 1);
+        assert_eq!(segments_for(1461), 2);
+        assert_eq!(segments_for(50_000), 35);
+        assert_eq!(segments_for(0), 1, "empty flows still send one segment");
+    }
+}

@@ -1,0 +1,106 @@
+//! Traffic profiling: the dynamic information behind the paper's PROF
+//! and HPROF mappers.
+//!
+//! "Typically profiling involves an initial simulation experiment using
+//! a naive initial partition and traffic monitoring. The simulation
+//! yields detailed traffic information, and improves subsequent network
+//! partitions." (Section 3.3). [`ProfileData`] is that information:
+//! per-node kernel-event counts (vertex weights) and per-link packet
+//! counts (edge weights).
+
+/// Traffic counters from one simulation run (or one partition's shard;
+/// merge shards with [`ProfileData::merge`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileData {
+    /// Packets handled per node (≈ kernel events; the paper's load
+    /// measure).
+    pub node_packets: Vec<u64>,
+    /// Packets carried per link (both directions summed).
+    pub link_packets: Vec<u64>,
+    /// Packets lost to drop-tail queues.
+    pub drops: u64,
+    /// TCP flows that ran to completion.
+    pub completed_flows: u64,
+    /// Data segments of completed flows.
+    pub completed_segments: u64,
+    /// Flow/datagram requests whose destination was unreachable (BGP
+    /// policy) or identical to the source.
+    pub unroutable: u64,
+}
+
+impl ProfileData {
+    /// Zeroed counters for a network of the given size.
+    pub fn new(nodes: usize, links: usize) -> Self {
+        ProfileData {
+            node_packets: vec![0; nodes],
+            link_packets: vec![0; links],
+            drops: 0,
+            completed_flows: 0,
+            completed_segments: 0,
+            unroutable: 0,
+        }
+    }
+
+    /// Accumulate another shard's counters.
+    ///
+    /// # Panics
+    /// Panics when sizes disagree.
+    pub fn merge(&mut self, other: &ProfileData) {
+        assert_eq!(self.node_packets.len(), other.node_packets.len());
+        assert_eq!(self.link_packets.len(), other.link_packets.len());
+        for (a, b) in self.node_packets.iter_mut().zip(&other.node_packets) {
+            *a += b;
+        }
+        for (a, b) in self.link_packets.iter_mut().zip(&other.link_packets) {
+            *a += b;
+        }
+        self.drops += other.drops;
+        self.completed_flows += other.completed_flows;
+        self.completed_segments += other.completed_segments;
+        self.unroutable += other.unroutable;
+    }
+
+    /// Total packets handled across all nodes.
+    pub fn total_node_packets(&self) -> u64 {
+        self.node_packets.iter().sum()
+    }
+
+    /// Total packets carried across all links.
+    pub fn total_link_packets(&self) -> u64 {
+        self.link_packets.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = ProfileData::new(2, 1);
+        a.node_packets = vec![1, 2];
+        a.link_packets = vec![3];
+        a.drops = 1;
+        let mut b = ProfileData::new(2, 1);
+        b.node_packets = vec![10, 20];
+        b.link_packets = vec![30];
+        b.completed_flows = 2;
+        b.unroutable = 5;
+        a.merge(&b);
+        assert_eq!(a.node_packets, vec![11, 22]);
+        assert_eq!(a.link_packets, vec![33]);
+        assert_eq!(a.drops, 1);
+        assert_eq!(a.completed_flows, 2);
+        assert_eq!(a.unroutable, 5);
+        assert_eq!(a.total_node_packets(), 33);
+        assert_eq!(a.total_link_packets(), 33);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_size_mismatch_panics() {
+        let mut a = ProfileData::new(2, 1);
+        let b = ProfileData::new(3, 1);
+        a.merge(&b);
+    }
+}

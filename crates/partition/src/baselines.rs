@@ -1,0 +1,177 @@
+//! Baseline partitioners from the paper's related-work comparison
+//! (Section 6): random assignment and the ModelNet greedy k-cluster
+//! algorithm ("for k nodes in the core set, randomly select k nodes in
+//! the virtual topology and greedily select links from the current
+//! connected component in a round-robin fashion").
+
+use crate::graph::WeightedGraph;
+use crate::initial::repair_empty_parts;
+use crate::partition::Partition;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+
+/// Uniform random assignment of vertices to parts.
+pub fn random_partition(n: usize, k: usize, seed: u64) -> Partition {
+    assert!(k >= 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let assignment = (0..n).map(|_| rng.gen_range(0..k) as u32).collect();
+    Partition::new(assignment, k)
+}
+
+/// ModelNet-style greedy k-cluster: k random seed vertices; clusters take
+/// turns absorbing one frontier vertex reachable from their current
+/// component. Vertices unreachable from any seed (disconnected graphs)
+/// are appended round-robin.
+pub fn greedy_kcluster(g: &WeightedGraph, k: usize, seed: u64) -> Partition {
+    let n = g.vertex_count();
+    assert!(k >= 1);
+    if k == 1 || n == 0 {
+        return Partition::new(vec![0; n], k);
+    }
+    if k >= n {
+        return Partition::new((0..n as u32).collect(), k);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    const FREE: u32 = u32::MAX;
+    let mut assignment = vec![FREE; n];
+
+    // Distinct random seeds.
+    let mut seeds: Vec<usize> = (0..n).collect();
+    seeds.shuffle(&mut rng);
+    seeds.truncate(k);
+    let mut frontier: Vec<VecDeque<usize>> = vec![VecDeque::new(); k];
+    for (p, &s) in seeds.iter().enumerate() {
+        assignment[s] = p as u32;
+        frontier[p].push_back(s);
+    }
+
+    // Round-robin greedy growth.
+    let mut assigned = k;
+    let mut active = true;
+    while assigned < n && active {
+        active = false;
+        for p in 0..k {
+            // Pop until we find a vertex with a free neighbor.
+            while let Some(&v) = frontier[p].front() {
+                let next = g.neighbors(v).map(|(u, _)| u).find(|&u| assignment[u] == FREE);
+                match next {
+                    Some(u) => {
+                        assignment[u] = p as u32;
+                        frontier[p].push_back(u);
+                        assigned += 1;
+                        active = true;
+                        break;
+                    }
+                    None => {
+                        frontier[p].pop_front();
+                    }
+                }
+            }
+        }
+    }
+    // Unreachable leftovers: round-robin.
+    let mut next_part = 0u32;
+    for a in assignment.iter_mut() {
+        if *a == FREE {
+            *a = next_part;
+            next_part = (next_part + 1) % k as u32;
+        }
+    }
+    repair_empty_parts(g, k, &mut assignment);
+    Partition::new(assignment, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(nx: usize, ny: usize) -> WeightedGraph {
+        let id = |x: usize, y: usize| (y * nx + x) as u32;
+        let mut edges = Vec::new();
+        for y in 0..ny {
+            for x in 0..nx {
+                if x + 1 < nx {
+                    edges.push((id(x, y), id(x + 1, y), 1));
+                }
+                if y + 1 < ny {
+                    edges.push((id(x, y), id(x, y + 1), 1));
+                }
+            }
+        }
+        WeightedGraph::from_edges(vec![1; nx * ny], &edges)
+    }
+
+    #[test]
+    fn random_partition_covers_all_parts_eventually() {
+        let p = random_partition(500, 8, 1);
+        assert_eq!(p.used_parts(), 8);
+        assert_eq!(p.len(), 500);
+    }
+
+    #[test]
+    fn random_partition_deterministic() {
+        assert_eq!(
+            random_partition(100, 4, 9).assignment,
+            random_partition(100, 4, 9).assignment
+        );
+    }
+
+    #[test]
+    fn kcluster_assigns_everything() {
+        let g = grid(10, 10);
+        let p = greedy_kcluster(&g, 5, 2);
+        assert_eq!(p.len(), 100);
+        assert_eq!(p.used_parts(), 5);
+    }
+
+    #[test]
+    fn kcluster_clusters_are_connected_on_connected_graph() {
+        let g = grid(8, 8);
+        let p = greedy_kcluster(&g, 4, 11);
+        // BFS within each part must reach all its members.
+        for part in 0..4u32 {
+            let members = p.members(part);
+            let mut seen = vec![false; g.vertex_count()];
+            let mut queue = VecDeque::new();
+            seen[members[0]] = true;
+            queue.push_back(members[0]);
+            let mut reached = 1;
+            while let Some(v) = queue.pop_front() {
+                for (u, _) in g.neighbors(v) {
+                    if p.assignment[u] == part && !seen[u] {
+                        seen[u] = true;
+                        reached += 1;
+                        queue.push_back(u);
+                    }
+                }
+            }
+            assert_eq!(reached, members.len(), "part {part} disconnected");
+        }
+    }
+
+    #[test]
+    fn kcluster_counts_are_roughly_even() {
+        let g = grid(12, 12);
+        let p = greedy_kcluster(&g, 4, 3);
+        for part in 0..4u32 {
+            let c = p.members(part).len();
+            assert!((18..=54).contains(&c), "part {part} has {c} vertices");
+        }
+    }
+
+    #[test]
+    fn kcluster_handles_disconnected_graph() {
+        let g = WeightedGraph::from_edges(vec![1; 6], &[(0, 1, 1), (2, 3, 1)]);
+        let p = greedy_kcluster(&g, 2, 5);
+        assert_eq!(p.len(), 6);
+        assert!(p.assignment.iter().all(|&a| a < 2));
+    }
+
+    #[test]
+    fn kcluster_edge_cases() {
+        let g = grid(3, 3);
+        assert!(greedy_kcluster(&g, 1, 0).assignment.iter().all(|&p| p == 0));
+        assert_eq!(greedy_kcluster(&g, 9, 0).used_parts(), 9);
+    }
+}

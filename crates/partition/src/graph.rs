@@ -1,0 +1,246 @@
+//! Compressed sparse row weighted graph for partitioning.
+//!
+//! Vertex weights model estimated simulation load (bandwidth for TOP,
+//! profiled event rate for PROF); edge weights model the reluctance to
+//! cut an edge (derived from link latency and/or profiled traffic).
+
+use crate::unionfind::UnionFind;
+
+/// An undirected graph in CSR form with `u64` vertex and edge weights.
+///
+/// Parallel edges passed to [`WeightedGraph::from_edges`] are merged by
+/// summing their weights; self-loops are dropped (they cannot be cut).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedGraph {
+    /// CSR row offsets, length `n + 1`.
+    xadj: Vec<u32>,
+    /// Neighbor vertex ids, length `2·m`.
+    adjncy: Vec<u32>,
+    /// Edge weights parallel to `adjncy`.
+    adjwgt: Vec<u64>,
+    /// Vertex weights, length `n`.
+    vwgt: Vec<u64>,
+}
+
+impl WeightedGraph {
+    /// Build from an edge list. `edges` are `(u, v, weight)` with
+    /// `u, v < vertex_weights.len()`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints.
+    pub fn from_edges(vertex_weights: Vec<u64>, edges: &[(u32, u32, u64)]) -> Self {
+        let n = vertex_weights.len();
+        // Merge duplicates via a sorted edge list keyed on (min, max).
+        let mut canon: Vec<(u32, u32, u64)> = edges
+            .iter()
+            .filter(|&&(u, v, _)| u != v)
+            .map(|&(u, v, w)| {
+                assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+                (u.min(v), u.max(v), w)
+            })
+            .collect();
+        canon.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        canon.dedup_by(|next, acc| {
+            if next.0 == acc.0 && next.1 == acc.1 {
+                acc.2 += next.2;
+                true
+            } else {
+                false
+            }
+        });
+
+        let mut degree = vec![0u32; n];
+        for &(u, v, _) in &canon {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut xadj = vec![0u32; n + 1];
+        for i in 0..n {
+            xadj[i + 1] = xadj[i] + degree[i];
+        }
+        let m2 = xadj[n] as usize;
+        let mut adjncy = vec![0u32; m2];
+        let mut adjwgt = vec![0u64; m2];
+        let mut cursor = xadj[..n].to_vec();
+        for &(u, v, w) in &canon {
+            let cu = cursor[u as usize];
+            adjncy[cu as usize] = v;
+            adjwgt[cu as usize] = w;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize];
+            adjncy[cv as usize] = u;
+            adjwgt[cv as usize] = w;
+            cursor[v as usize] += 1;
+        }
+        WeightedGraph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt: vertex_weights,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Weight of vertex `v`.
+    #[inline]
+    pub fn vertex_weight(&self, v: usize) -> u64 {
+        self.vwgt[v]
+    }
+
+    /// All vertex weights.
+    #[inline]
+    pub fn vertex_weights(&self) -> &[u64] {
+        &self.vwgt
+    }
+
+    /// Sum of all vertex weights.
+    pub fn total_vertex_weight(&self) -> u64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Neighbors of `v` with edge weights.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> impl Iterator<Item = (usize, u64)> + '_ {
+        let lo = self.xadj[v] as usize;
+        let hi = self.xadj[v + 1] as usize;
+        self.adjncy[lo..hi]
+            .iter()
+            .zip(&self.adjwgt[lo..hi])
+            .map(|(&n, &w)| (n as usize, w))
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        (self.xadj[v + 1] - self.xadj[v]) as usize
+    }
+
+    /// Sum of weights of edges incident to `v`.
+    pub fn incident_weight(&self, v: usize) -> u64 {
+        let lo = self.xadj[v] as usize;
+        let hi = self.xadj[v + 1] as usize;
+        self.adjwgt[lo..hi].iter().sum()
+    }
+
+    /// Total weight of edges cut by `assignment` (vertex → part).
+    pub fn edge_cut(&self, assignment: &[u32]) -> u64 {
+        debug_assert_eq!(assignment.len(), self.vertex_count());
+        let mut cut = 0u64;
+        for v in 0..self.vertex_count() {
+            for (u, w) in self.neighbors(v) {
+                if u > v && assignment[u] != assignment[v] {
+                    cut += w;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Is the graph connected? Empty graphs count as connected.
+    pub fn is_connected(&self) -> bool {
+        let n = self.vertex_count();
+        if n == 0 {
+            return true;
+        }
+        let mut uf = UnionFind::new(n);
+        for v in 0..n {
+            for (u, _) in self.neighbors(v) {
+                uf.union(v, u);
+            }
+        }
+        uf.component_count() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4-cycle with unit weights plus a heavy chord 0-2.
+    fn square_with_chord() -> WeightedGraph {
+        WeightedGraph::from_edges(
+            vec![1, 1, 1, 1],
+            &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1), (0, 2, 10)],
+        )
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = square_with_chord();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(3), 2);
+    }
+
+    #[test]
+    fn neighbors_symmetric() {
+        let g = square_with_chord();
+        for v in 0..g.vertex_count() {
+            for (u, w) in g.neighbors(v) {
+                assert!(
+                    g.neighbors(u).any(|(x, wx)| x == v && wx == w),
+                    "asymmetric edge {v}-{u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_edges_merge() {
+        let g = WeightedGraph::from_edges(vec![1, 1], &[(0, 1, 3), (1, 0, 4)]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.neighbors(0).next(), Some((1, 7)));
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let g = WeightedGraph::from_edges(vec![1, 1], &[(0, 0, 5), (0, 1, 2)]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn edge_cut_counts_cross_edges_once() {
+        let g = square_with_chord();
+        // Parts {0,1} vs {2,3}: cut edges 1-2 (1), 3-0 (1), 0-2 (10) = 12.
+        assert_eq!(g.edge_cut(&[0, 0, 1, 1]), 12);
+        // Parts {0,2} vs {1,3}: cut 0-1,1-2,2-3,3-0 = 4.
+        assert_eq!(g.edge_cut(&[0, 1, 0, 1]), 4);
+        // Single part: no cut.
+        assert_eq!(g.edge_cut(&[0, 0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn incident_weight_sums() {
+        let g = square_with_chord();
+        assert_eq!(g.incident_weight(0), 1 + 1 + 10);
+        assert_eq!(g.incident_weight(3), 2);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(square_with_chord().is_connected());
+        let g = WeightedGraph::from_edges(vec![1, 1, 1], &[(0, 1, 1)]);
+        assert!(!g.is_connected());
+        let empty = WeightedGraph::from_edges(vec![], &[]);
+        assert!(empty.is_connected());
+    }
+
+    #[test]
+    fn total_vertex_weight() {
+        let g = WeightedGraph::from_edges(vec![2, 3, 5], &[(0, 1, 1), (1, 2, 1)]);
+        assert_eq!(g.total_vertex_weight(), 10);
+    }
+}

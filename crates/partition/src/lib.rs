@@ -1,0 +1,37 @@
+//! # massf-partition
+//!
+//! Graph partitioning for the `massf-rs` reproduction of *Realistic
+//! Large-Scale Online Network Simulation* (Liu & Chien, SC 2004).
+//!
+//! The paper maps virtual network nodes onto simulation-engine nodes by
+//! partitioning a weighted graph with METIS. This crate reimplements that
+//! substrate from scratch:
+//!
+//! * [`WeightedGraph`] — a compact CSR graph with vertex and edge weights.
+//! * [`metis_kway`] — a multilevel k-way partitioner in the METIS family:
+//!   heavy-edge-matching coarsening, greedy-graph-growing initial
+//!   partitioning, and KL/FM boundary refinement projected back through
+//!   the levels.
+//! * [`recursive_bisection`] — the classic multilevel recursive-bisection
+//!   alternative.
+//! * [`baselines`] — the comparison partitioners from the paper's related
+//!   work: random assignment and the ModelNet greedy k-cluster algorithm.
+//! * [`UnionFind`] — used here for connectivity and exported for the
+//!   latency-threshold clustering of the hierarchical (HPROF) mapper.
+//!
+//! All partitioners are deterministic given their seed.
+
+pub mod baselines;
+pub mod coarsen;
+pub mod graph;
+pub mod initial;
+pub mod kway;
+pub mod partition;
+pub mod refine;
+pub mod unionfind;
+
+pub use baselines::{greedy_kcluster, random_partition};
+pub use graph::WeightedGraph;
+pub use kway::{metis_kway, recursive_bisection, KwayConfig};
+pub use partition::Partition;
+pub use unionfind::UnionFind;

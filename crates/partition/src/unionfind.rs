@@ -1,0 +1,155 @@
+//! Disjoint-set forest with path halving and union by size.
+//!
+//! Used internally for connectivity checks and exported for the
+//! latency-threshold node merging of the hierarchical partitioners
+//! (paper Section 3.4.3: "the original graph G is reduced to a dumped
+//! graph Gd by collapsing nodes with link latency less than Tmll").
+
+/// A disjoint-set (union–find) structure over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize);
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Representative of `x`'s set (path-halving).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x as usize
+    }
+
+    /// Merge the sets of `a` and `b`; returns false if already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        self.components -= 1;
+        true
+    }
+
+    /// Are `a` and `b` in the same set?
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of `x`'s set.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+
+    /// Relabel sets densely: returns `(labels, count)` where `labels[x]`
+    /// is a stable 0-based label (ordered by smallest member).
+    pub fn dense_labels(&mut self) -> (Vec<u32>, usize) {
+        let n = self.len();
+        let mut label = vec![u32::MAX; n];
+        let mut next = 0u32;
+        let mut out = vec![0u32; n];
+        for x in 0..n {
+            let r = self.find(x);
+            if label[r] == u32::MAX {
+                label[r] = next;
+                next += 1;
+            }
+            out[x] = label[r];
+        }
+        (out, next as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+            assert_eq!(uf.set_size(i), 1);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 3), "already connected");
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.connected(0, 3));
+        assert!(!uf.connected(0, 4));
+        assert_eq!(uf.set_size(3), 4);
+    }
+
+    #[test]
+    fn dense_labels_are_stable_and_dense() {
+        let mut uf = UnionFind::new(6);
+        uf.union(4, 5);
+        uf.union(1, 3);
+        let (labels, count) = uf.dense_labels();
+        assert_eq!(count, 4);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[1], 1);
+        assert_eq!(labels[2], 2);
+        assert_eq!(labels[3], 1);
+        assert_eq!(labels[4], 3);
+        assert_eq!(labels[5], 3);
+    }
+
+    #[test]
+    fn chain_unions_single_component() {
+        let n = 100;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            uf.union(i - 1, i);
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert_eq!(uf.set_size(0), n);
+        let (labels, count) = uf.dense_labels();
+        assert_eq!(count, 1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+}

@@ -1,0 +1,376 @@
+//! OSPF: intra-domain link-state shortest-path routing.
+//!
+//! An [`OspfDomain`] covers one routing domain — the whole network for
+//! the paper's flat single-AS experiments (Section 4), or one AS of a
+//! multi-AS network. Shortest-path trees (SPTs) are computed per
+//! *destination* with Dijkstra and cached, so path queries cost
+//! O(path length) after the first query to a destination and the domain
+//! never materializes an O(N²) table. The cache is bounded (FIFO
+//! eviction) to keep 20,000-router domains within memory.
+
+use massf_topology::{Network, NodeId};
+use parking_lot::Mutex;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Link cost metric for SPF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostMetric {
+    /// Every link costs 1 (hop count).
+    Hop,
+    /// Cost = propagation latency (what MaSSF's DML configs use).
+    Latency,
+    /// Cost = a reference rate divided by bandwidth (classic Cisco cost).
+    InverseBandwidth,
+}
+
+impl CostMetric {
+    fn cost(self, link: &massf_topology::Link) -> u64 {
+        match self {
+            CostMetric::Hop => 1,
+            // Nanosecond resolution keeps ordering exact in integers.
+            CostMetric::Latency => (link.latency_ms * 1e6).round() as u64,
+            CostMetric::InverseBandwidth => {
+                // 100 Gbps reference, floor 1 (OSPF cost is ≥ 1).
+                ((1e11 / link.bandwidth_bps).round() as u64).max(1)
+            }
+        }
+    }
+}
+
+/// A destination's shortest-path tree: for each member node, the parent
+/// (next hop toward the destination) and the distance.
+#[derive(Debug, Clone)]
+struct Spt {
+    /// `parent[i]` = local index of next hop from member `i` toward the
+    /// destination; `u32::MAX` when unreachable or at the destination.
+    parent: Vec<u32>,
+    /// Total cost from member `i` to the destination (`u64::MAX` if
+    /// unreachable).
+    dist: Vec<u64>,
+}
+
+/// An OSPF routing domain over a subset of a [`Network`]'s nodes.
+///
+/// Queries are thread-safe; the SPT cache sits behind a mutex.
+pub struct OspfDomain {
+    /// Member nodes (routers and hosts of the domain), defining local
+    /// indices.
+    members: Vec<NodeId>,
+    /// Global node id → local index (u32::MAX = not a member).
+    local_of: Vec<u32>,
+    /// Local adjacency: `(neighbor local index, cost)`.
+    adj: Vec<Vec<(u32, u64)>>,
+    metric: CostMetric,
+    cache: Mutex<SptCache>,
+}
+
+struct SptCache {
+    map: HashMap<u32, Spt>, // keyed by destination local index
+    order: VecDeque<u32>,   // FIFO for eviction
+    capacity: usize,
+}
+
+impl OspfDomain {
+    /// Build a domain over `members` of `net`, using only links whose
+    /// both endpoints are members (intra-domain links).
+    pub fn new(net: &Network, members: Vec<NodeId>, metric: CostMetric) -> Self {
+        Self::with_cache_capacity(net, members, metric, 1024)
+    }
+
+    /// Like [`OspfDomain::new`] with an explicit SPT cache capacity.
+    pub fn with_cache_capacity(
+        net: &Network,
+        members: Vec<NodeId>,
+        metric: CostMetric,
+        cache_capacity: usize,
+    ) -> Self {
+        let mut local_of = vec![u32::MAX; net.node_count()];
+        for (i, &m) in members.iter().enumerate() {
+            local_of[m.index()] = i as u32;
+        }
+        let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); members.len()];
+        for link in &net.links {
+            let (la, lb) = (local_of[link.a.index()], local_of[link.b.index()]);
+            if la != u32::MAX && lb != u32::MAX {
+                let c = metric.cost(link);
+                adj[la as usize].push((lb, c));
+                adj[lb as usize].push((la, c));
+            }
+        }
+        OspfDomain {
+            members,
+            local_of,
+            adj,
+            metric,
+            cache: Mutex::new(SptCache {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: cache_capacity.max(1),
+            }),
+        }
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> CostMetric {
+        self.metric
+    }
+
+    /// Number of member nodes.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Is `node` part of this domain?
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.local_of[node.index()] != u32::MAX
+    }
+
+    fn compute_spt(&self, dst_local: u32) -> Spt {
+        let n = self.members.len();
+        let mut dist = vec![u64::MAX; n];
+        let mut parent = vec![u32::MAX; n];
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, u32)>> = BinaryHeap::new();
+        dist[dst_local as usize] = 0;
+        heap.push(std::cmp::Reverse((0, dst_local)));
+        while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
+            if d > dist[v as usize] {
+                continue;
+            }
+            for &(u, c) in &self.adj[v as usize] {
+                let nd = d + c;
+                // Deterministic tie-break: strictly better distance, or
+                // equal distance with a lower-indexed parent.
+                let ud = dist[u as usize];
+                if nd < ud || (nd == ud && v < parent[u as usize]) {
+                    dist[u as usize] = nd;
+                    parent[u as usize] = v;
+                    heap.push(std::cmp::Reverse((nd, u)));
+                }
+            }
+        }
+        Spt { parent, dist }
+    }
+
+    fn with_spt<R>(&self, dst_local: u32, f: impl FnOnce(&Spt) -> R) -> R {
+        let mut cache = self.cache.lock();
+        if !cache.map.contains_key(&dst_local) {
+            let spt = self.compute_spt(dst_local);
+            if cache.map.len() >= cache.capacity {
+                if let Some(old) = cache.order.pop_front() {
+                    cache.map.remove(&old);
+                }
+            }
+            cache.order.push_back(dst_local);
+            cache.map.insert(dst_local, spt);
+        }
+        f(&cache.map[&dst_local])
+    }
+
+    /// Next hop from `src` toward `dst`, or `None` if unreachable /
+    /// not members / `src == dst`.
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        let (ls, ld) = (self.local_of[src.index()], self.local_of[dst.index()]);
+        if ls == u32::MAX || ld == u32::MAX || ls == ld {
+            return None;
+        }
+        self.with_spt(ld, |spt| {
+            let p = spt.parent[ls as usize];
+            (p != u32::MAX).then(|| self.members[p as usize])
+        })
+    }
+
+    /// Full shortest path `src → … → dst` (inclusive), or `None` if
+    /// unreachable. `src == dst` yields `[src]`.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        let (ls, ld) = (self.local_of[src.index()], self.local_of[dst.index()]);
+        if ls == u32::MAX || ld == u32::MAX {
+            return None;
+        }
+        if ls == ld {
+            return Some(vec![src]);
+        }
+        self.with_spt(ld, |spt| {
+            if spt.dist[ls as usize] == u64::MAX {
+                return None;
+            }
+            let mut path = vec![src];
+            let mut cur = ls;
+            while cur != ld {
+                cur = spt.parent[cur as usize];
+                debug_assert_ne!(cur, u32::MAX);
+                path.push(self.members[cur as usize]);
+            }
+            Some(path)
+        })
+    }
+
+    /// Shortest distance (in metric units), or `None` if unreachable.
+    pub fn distance(&self, src: NodeId, dst: NodeId) -> Option<u64> {
+        let (ls, ld) = (self.local_of[src.index()], self.local_of[dst.index()]);
+        if ls == u32::MAX || ld == u32::MAX {
+            return None;
+        }
+        self.with_spt(ld, |spt| {
+            let d = spt.dist[ls as usize];
+            (d != u64::MAX).then_some(d)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use massf_topology::{AsId, NodeKind, Point};
+
+    /// Diamond: 0-1 (1ms), 0-2 (5ms), 1-3 (1ms), 2-3 (1ms).
+    /// Shortest 0→3 is via 1 (2ms) not via 2 (6ms).
+    fn diamond() -> (Network, Vec<NodeId>) {
+        let mut net = Network::new();
+        let ids: Vec<NodeId> = (0..4)
+            .map(|i| net.add_node(NodeKind::Router, Point::new(i as f64, 0.0), AsId(0)))
+            .collect();
+        net.add_link(ids[0], ids[1], 1e9, 1.0);
+        net.add_link(ids[0], ids[2], 1e9, 5.0);
+        net.add_link(ids[1], ids[3], 1e9, 1.0);
+        net.add_link(ids[2], ids[3], 1e9, 1.0);
+        (net, ids)
+    }
+
+    #[test]
+    fn shortest_path_by_latency() {
+        let (net, ids) = diamond();
+        let d = OspfDomain::new(&net, ids.clone(), CostMetric::Latency);
+        assert_eq!(
+            d.path(ids[0], ids[3]),
+            Some(vec![ids[0], ids[1], ids[3]])
+        );
+        assert_eq!(d.distance(ids[0], ids[3]), Some(2_000_000)); // 2 ms in ns
+        assert_eq!(d.next_hop(ids[0], ids[3]), Some(ids[1]));
+    }
+
+    #[test]
+    fn paths_are_symmetric_in_cost() {
+        let (net, ids) = diamond();
+        let d = OspfDomain::new(&net, ids.clone(), CostMetric::Latency);
+        assert_eq!(d.distance(ids[0], ids[3]), d.distance(ids[3], ids[0]));
+    }
+
+    #[test]
+    fn hop_metric_counts_hops() {
+        let (net, ids) = diamond();
+        let d = OspfDomain::new(&net, ids.clone(), CostMetric::Hop);
+        assert_eq!(d.distance(ids[0], ids[3]), Some(2));
+    }
+
+    #[test]
+    fn self_path_is_singleton() {
+        let (net, ids) = diamond();
+        let d = OspfDomain::new(&net, ids.clone(), CostMetric::Latency);
+        assert_eq!(d.path(ids[0], ids[0]), Some(vec![ids[0]]));
+        assert_eq!(d.next_hop(ids[0], ids[0]), None);
+    }
+
+    #[test]
+    fn non_member_destination_unroutable() {
+        let (mut net, ids) = diamond();
+        let outsider = net.add_node(NodeKind::Router, Point::new(9.0, 9.0), AsId(1));
+        let d = OspfDomain::new(&net, ids.clone(), CostMetric::Latency);
+        assert_eq!(d.path(ids[0], outsider), None);
+        assert!(!d.contains(outsider));
+    }
+
+    #[test]
+    fn unreachable_within_domain() {
+        // Domain includes an isolated node.
+        let mut net = Network::new();
+        let a = net.add_node(NodeKind::Router, Point::new(0.0, 0.0), AsId(0));
+        let b = net.add_node(NodeKind::Router, Point::new(1.0, 0.0), AsId(0));
+        let c = net.add_node(NodeKind::Router, Point::new(2.0, 0.0), AsId(0));
+        net.add_link(a, b, 1e9, 1.0);
+        let d = OspfDomain::new(&net, vec![a, b, c], CostMetric::Latency);
+        assert_eq!(d.path(a, c), None);
+        assert_eq!(d.distance(a, c), None);
+        assert_eq!(d.path(a, b), Some(vec![a, b]));
+    }
+
+    #[test]
+    fn ignores_links_leaving_the_domain() {
+        // a-b intra, b-x inter (x not a member): path a→b must not see x.
+        let mut net = Network::new();
+        let a = net.add_node(NodeKind::Router, Point::new(0.0, 0.0), AsId(0));
+        let b = net.add_node(NodeKind::Router, Point::new(1.0, 0.0), AsId(0));
+        let x = net.add_node(NodeKind::Router, Point::new(2.0, 0.0), AsId(1));
+        net.add_link(a, x, 1e9, 0.1);
+        net.add_link(x, b, 1e9, 0.1);
+        net.add_link(a, b, 1e9, 10.0);
+        let d = OspfDomain::new(&net, vec![a, b], CostMetric::Latency);
+        // The short detour through x is invisible to the domain.
+        assert_eq!(d.path(a, b), Some(vec![a, b]));
+        assert_eq!(d.distance(a, b), Some(10_000_000));
+    }
+
+    #[test]
+    fn dijkstra_matches_bellman_ford_reference() {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        // Random connected graph: ring + chords.
+        let n = 40;
+        let mut net = Network::new();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| net.add_node(NodeKind::Router, Point::new(i as f64, 0.0), AsId(0)))
+            .collect();
+        for i in 0..n {
+            net.add_link(ids[i], ids[(i + 1) % n], 1e9, rng.gen_range(0.1..5.0));
+        }
+        for _ in 0..30 {
+            let (i, j) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            if i != j && !net.has_link(ids[i], ids[j]) {
+                net.add_link(ids[i], ids[j], 1e9, rng.gen_range(0.1..5.0));
+            }
+        }
+        let d = OspfDomain::new(&net, ids.clone(), CostMetric::Latency);
+
+        // Bellman–Ford from destination 0.
+        let mut dist = vec![u64::MAX; n];
+        dist[0] = 0;
+        for _ in 0..n {
+            for link in &net.links {
+                let c = (link.latency_ms * 1e6).round() as u64;
+                let (ia, ib) = (link.a.index(), link.b.index());
+                if dist[ia] != u64::MAX && dist[ia] + c < dist[ib] {
+                    dist[ib] = dist[ia] + c;
+                }
+                if dist[ib] != u64::MAX && dist[ib] + c < dist[ia] {
+                    dist[ia] = dist[ib] + c;
+                }
+            }
+        }
+        for i in 1..n {
+            assert_eq!(d.distance(ids[i], ids[0]), Some(dist[i]), "node {i}");
+        }
+    }
+
+    #[test]
+    fn cache_eviction_keeps_answers_correct() {
+        let (net, ids) = diamond();
+        let d = OspfDomain::with_cache_capacity(&net, ids.clone(), CostMetric::Latency, 1);
+        let p03 = d.path(ids[0], ids[3]);
+        let p01 = d.path(ids[0], ids[1]); // evicts dst 3
+        let p03_again = d.path(ids[0], ids[3]); // recompute
+        assert_eq!(p03, p03_again);
+        assert_eq!(p01, Some(vec![ids[0], ids[1]]));
+    }
+
+    #[test]
+    fn path_endpoints_and_continuity() {
+        let (net, ids) = diamond();
+        let d = OspfDomain::new(&net, ids.clone(), CostMetric::Latency);
+        let p = d.path(ids[2], ids[1]).unwrap();
+        assert_eq!(*p.first().unwrap(), ids[2]);
+        assert_eq!(*p.last().unwrap(), ids[1]);
+        for w in p.windows(2) {
+            assert!(net.has_link(w[0], w[1]), "gap {w:?}");
+        }
+    }
+}

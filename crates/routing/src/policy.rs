@@ -1,0 +1,94 @@
+//! BGP routing-policy configuration from AS relationships.
+//!
+//! Implements steps 4–5 of the paper's automatic configuration procedure
+//! (Section 5.1.2), which encode the standard commercial rules inferred
+//! by Wang & Gao (IMC'03):
+//!
+//! * **Import** (step 4): accept all routes; set local preference by the
+//!   next-hop AS relationship — customer routes highest, then peer, then
+//!   provider.
+//! * **Export** (step 5): to a provider or peer, export only local and
+//!   customer routes; to a customer, export everything. These rules make
+//!   every permitted path *valley-free*.
+
+use massf_topology::AsRelationship;
+
+/// Local preference for a route learned from a customer.
+pub const LOCAL_PREF_CUSTOMER: u32 = 100;
+/// Local preference for a route learned from a peer.
+pub const LOCAL_PREF_PEER: u32 = 90;
+/// Local preference for a route learned from a provider.
+pub const LOCAL_PREF_PROVIDER: u32 = 80;
+
+/// Import policy: local preference assigned to a route learned from a
+/// neighbor with the given relationship (the relationship is *ours
+/// toward the neighbor*, so a route from a customer arrives over an edge
+/// where we are the provider).
+pub fn local_preference(our_relationship_to_neighbor: AsRelationship) -> u32 {
+    match our_relationship_to_neighbor {
+        // We are their provider ⇒ they are our customer.
+        AsRelationship::ProviderOf => LOCAL_PREF_CUSTOMER,
+        AsRelationship::PeerPeer => LOCAL_PREF_PEER,
+        // We are their customer ⇒ they are our provider.
+        AsRelationship::CustomerOf => LOCAL_PREF_PROVIDER,
+    }
+}
+
+/// Export policy: may a route *learned from* `learned_from` be exported
+/// to a neighbor with relationship `export_to`? Locally originated
+/// routes pass `None` as `learned_from`.
+///
+/// Both relationship arguments are ours toward the respective neighbor.
+pub fn export_allowed(
+    learned_from: Option<AsRelationship>,
+    export_to: AsRelationship,
+) -> bool {
+    match export_to {
+        // To customers: export everything (gives them full reach).
+        AsRelationship::ProviderOf => true,
+        // To providers and peers: only local and customer routes.
+        AsRelationship::CustomerOf | AsRelationship::PeerPeer => matches!(
+            learned_from,
+            None | Some(AsRelationship::ProviderOf) // from our customer
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use massf_topology::AsRelationship::*;
+
+    #[test]
+    fn preference_order_customer_peer_provider() {
+        assert!(local_preference(ProviderOf) > local_preference(PeerPeer));
+        assert!(local_preference(PeerPeer) > local_preference(CustomerOf));
+    }
+
+    #[test]
+    fn local_routes_export_everywhere() {
+        for rel in [ProviderOf, CustomerOf, PeerPeer] {
+            assert!(export_allowed(None, rel));
+        }
+    }
+
+    #[test]
+    fn customer_routes_export_everywhere() {
+        // Routes learned from our customers (we are ProviderOf them).
+        for rel in [ProviderOf, CustomerOf, PeerPeer] {
+            assert!(export_allowed(Some(ProviderOf), rel));
+        }
+    }
+
+    #[test]
+    fn provider_and_peer_routes_only_flow_downhill() {
+        // Learned from provider (we are CustomerOf): only to customers.
+        assert!(export_allowed(Some(CustomerOf), ProviderOf));
+        assert!(!export_allowed(Some(CustomerOf), CustomerOf));
+        assert!(!export_allowed(Some(CustomerOf), PeerPeer));
+        // Learned from peer: only to customers.
+        assert!(export_allowed(Some(PeerPeer), ProviderOf));
+        assert!(!export_allowed(Some(PeerPeer), CustomerOf));
+        assert!(!export_allowed(Some(PeerPeer), PeerPeer));
+    }
+}

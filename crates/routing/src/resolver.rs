@@ -1,0 +1,515 @@
+//! End-to-end path resolution for the packet simulator.
+//!
+//! The simulator forwards packets hop by hop; the resolver computes, at
+//! flow-setup time, the node-level path a packet will take (NIx-vector
+//! style — see DESIGN.md substitution #5). Two implementations:
+//!
+//! * [`FlatResolver`]: the paper's single-AS world — one OSPF domain
+//!   over the whole network.
+//! * [`MultiAsResolver`]: the multi-AS world — OSPF inside each AS, BGP
+//!   across ASes, and (step 6 of Section 5.1.2) *default routing* in
+//!   stub ASes: a stub forwards any non-local destination to its primary
+//!   provider instead of holding full BGP tables.
+
+use crate::bgp::BgpRib;
+use crate::ospf::{CostMetric, OspfDomain};
+use massf_topology::{AsClass, MultiAsTopologyConfig, Network, NodeId};
+use massf_topology::mabrite::MultiAsNetwork;
+use std::collections::HashMap;
+
+/// Resolves full node-level paths between any two nodes.
+pub trait PathResolver: Send + Sync {
+    /// The path `src → … → dst` inclusive of both endpoints, or `None`
+    /// when `dst` is unreachable from `src` (possible under BGP policy).
+    fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>>;
+}
+
+/// Single-domain OSPF resolution (the paper's Section 4 network).
+pub struct FlatResolver {
+    domain: OspfDomain,
+}
+
+impl FlatResolver {
+    /// Cover every node of `net` with one OSPF domain.
+    pub fn new(net: &Network, metric: CostMetric) -> Self {
+        let members = net.nodes.iter().map(|n| n.id).collect();
+        FlatResolver {
+            domain: OspfDomain::new(net, members, metric),
+        }
+    }
+
+    /// Access the underlying OSPF domain.
+    pub fn domain(&self) -> &OspfDomain {
+        &self.domain
+    }
+}
+
+impl PathResolver for FlatResolver {
+    fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        self.domain.path(src, dst)
+    }
+}
+
+/// BGP + OSPF resolution for multi-AS networks.
+pub struct MultiAsResolver {
+    /// One OSPF domain per AS (routers + hosts of that AS).
+    domains: Vec<OspfDomain>,
+    rib: BgpRib,
+    /// AS of every node.
+    as_of: Vec<u16>,
+    /// For each adjacent AS pair `(a, b)` (both orders), the chosen
+    /// inter-AS link endpoints `(border in a, border in b)`.
+    gateways: HashMap<(u16, u16), (NodeId, NodeId)>,
+    /// Primary (and implicit backup) provider per AS, for stub default
+    /// routing; `u16::MAX` when the AS has no provider.
+    primary_provider: Vec<u16>,
+    /// Is the AS a stub (uses default routing when enabled)?
+    is_stub: Vec<bool>,
+    /// Step 6d: stubs forward non-local traffic to their default
+    /// provider instead of consulting BGP.
+    pub stub_default_routing: bool,
+}
+
+impl MultiAsResolver {
+    /// Build from a generated multi-AS network. `cfg` is only used for
+    /// documentation-parity; pass the config used for generation.
+    pub fn new(m: &MultiAsNetwork, metric: CostMetric, _cfg: &MultiAsTopologyConfig) -> Self {
+        Self::with_options(m, metric, true)
+    }
+
+    /// Build with explicit control over stub default routing.
+    pub fn with_options(
+        m: &MultiAsNetwork,
+        metric: CostMetric,
+        stub_default_routing: bool,
+    ) -> Self {
+        let net = &m.network;
+        let n_as = m.as_graph.n;
+        let domains: Vec<OspfDomain> = (0..n_as)
+            .map(|a| {
+                let members = net.nodes_in_as(massf_topology::AsId(a as u16));
+                OspfDomain::new(net, members, metric)
+            })
+            .collect();
+        let rib = BgpRib::compute(&m.as_graph);
+        let as_of: Vec<u16> = net.nodes.iter().map(|n| n.as_id.0).collect();
+
+        // Deterministic gateway per adjacent AS pair: the lowest-id
+        // inter-AS link between them.
+        let mut gateways: HashMap<(u16, u16), (NodeId, NodeId)> = HashMap::new();
+        for link in &net.links {
+            if !link.inter_as {
+                continue;
+            }
+            let (aa, ab) = (as_of[link.a.index()], as_of[link.b.index()]);
+            gateways.entry((aa, ab)).or_insert((link.a, link.b));
+            gateways.entry((ab, aa)).or_insert((link.b, link.a));
+        }
+
+        let primary_provider: Vec<u16> = (0..n_as)
+            .map(|a| {
+                m.as_graph
+                    .providers(a)
+                    .into_iter()
+                    .min()
+                    .map(|p| p as u16)
+                    .unwrap_or(u16::MAX)
+            })
+            .collect();
+        let is_stub: Vec<bool> = (0..n_as)
+            .map(|a| m.as_graph.classes[a] == AsClass::Stub)
+            .collect();
+
+        MultiAsResolver {
+            domains,
+            rib,
+            as_of,
+            gateways,
+            primary_provider,
+            is_stub,
+            stub_default_routing,
+        }
+    }
+
+    /// The converged BGP RIB.
+    pub fn rib(&self) -> &BgpRib {
+        &self.rib
+    }
+
+    /// Simulate the failure of the inter-AS adjacency between `as_a`
+    /// and `as_b` (paper Section 5.1.2 step 6d: multi-homed stubs keep
+    /// default *and backup* routes). Returns a resolver whose BGP
+    /// routing has re-converged on the reduced AS graph and whose stub
+    /// default routing falls back to the next provider. `None` if the
+    /// ASes were not adjacent.
+    pub fn with_failed_adjacency(
+        &self,
+        m: &MultiAsNetwork,
+        metric: CostMetric,
+        as_a: usize,
+        as_b: usize,
+    ) -> Option<Self> {
+        let adjacent = m
+            .as_graph
+            .neighbors(as_a)
+            .any(|(b, _)| b == as_b);
+        if !adjacent {
+            return None;
+        }
+        // Reduced AS graph without the failed adjacency.
+        let reduced = m.as_graph.without_edge(as_a, as_b);
+        let mut failed = Self::with_options(m, metric, self.stub_default_routing);
+        failed.rib = BgpRib::compute(&reduced);
+        failed
+            .gateways
+            .remove(&(as_a as u16, as_b as u16));
+        failed
+            .gateways
+            .remove(&(as_b as u16, as_a as u16));
+        // Re-derive primary providers from the reduced graph (a stub
+        // whose sole provider link failed falls back to its backup).
+        for a in 0..reduced.n {
+            failed.primary_provider[a] = reduced
+                .providers(a)
+                .into_iter()
+                .min()
+                .map(|p| p as u16)
+                .unwrap_or(u16::MAX);
+        }
+        Some(failed)
+    }
+
+    /// The OSPF domain of AS `a`.
+    pub fn domain(&self, a: usize) -> &OspfDomain {
+        &self.domains[a]
+    }
+
+    /// Next AS on the way from `cur` toward `dst_as`, honoring stub
+    /// default routing.
+    fn next_as(&self, cur: u16, dst_as: u16) -> Option<u16> {
+        if self.stub_default_routing && self.is_stub[cur as usize] {
+            // Default route: everything non-local goes to the primary
+            // provider — unless the destination AS is directly adjacent
+            // (a stub may have a peer or second provider link it knows
+            // statically).
+            if self.gateways.contains_key(&(cur, dst_as)) {
+                return Some(dst_as);
+            }
+            let p = self.primary_provider[cur as usize];
+            return (p != u16::MAX).then_some(p);
+        }
+        self.rib
+            .next_as(cur as usize, dst_as as usize)
+            .map(|a| a as u16)
+    }
+}
+
+impl PathResolver for MultiAsResolver {
+    fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        let (as_s, as_d) = (self.as_of[src.index()], self.as_of[dst.index()]);
+        if as_s == as_d {
+            return self.domains[as_s as usize].path(src, dst);
+        }
+        let mut path: Vec<NodeId> = Vec::new();
+        let mut cur_node = src;
+        let mut cur_as = as_s;
+        let mut hops = 0usize;
+        while cur_as != as_d {
+            hops += 1;
+            if hops > self.domains.len() + 1 {
+                return None; // routing loop guard (misconfiguration)
+            }
+            let next = self.next_as(cur_as, as_d)?;
+            let &(exit, entry) = self.gateways.get(&(cur_as, next))?;
+            // Intra-AS leg to the exit border router.
+            let leg = self.domains[cur_as as usize].path(cur_node, exit)?;
+            append_leg(&mut path, leg);
+            // Cross the inter-AS link.
+            path.push(entry);
+            cur_node = entry;
+            cur_as = next;
+        }
+        let leg = self.domains[as_d as usize].path(cur_node, dst)?;
+        append_leg(&mut path, leg);
+        Some(path)
+    }
+}
+
+/// Append a leg, dropping its first node when it repeats the path tail.
+fn append_leg(path: &mut Vec<NodeId>, leg: Vec<NodeId>) {
+    let skip = usize::from(path.last() == leg.first() && !path.is_empty());
+    path.extend(leg.into_iter().skip(skip));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use massf_topology::{
+        generate_flat_network, generate_multi_as_network, FlatTopologyConfig,
+        MultiAsTopologyConfig, NodeKind,
+    };
+
+    fn flat() -> (massf_topology::Network, FlatResolver) {
+        let net = generate_flat_network(&FlatTopologyConfig::tiny());
+        let r = FlatResolver::new(&net, CostMetric::Latency);
+        (net, r)
+    }
+
+    fn multi() -> (massf_topology::mabrite::MultiAsNetwork, MultiAsResolver) {
+        let m = generate_multi_as_network(&MultiAsTopologyConfig::tiny());
+        let r = MultiAsResolver::with_options(&m, CostMetric::Latency, true);
+        (m, r)
+    }
+
+    fn check_path_valid(net: &massf_topology::Network, path: &[NodeId], src: NodeId, dst: NodeId) {
+        assert_eq!(*path.first().unwrap(), src);
+        assert_eq!(*path.last().unwrap(), dst);
+        for w in path.windows(2) {
+            assert!(
+                net.has_link(w[0], w[1]),
+                "no link between consecutive hops {w:?}"
+            );
+            assert_ne!(w[0], w[1], "repeated hop");
+        }
+    }
+
+    #[test]
+    fn flat_routes_between_hosts() {
+        let (net, r) = flat();
+        let hosts = net.host_ids();
+        let (a, b) = (hosts[0], hosts[hosts.len() - 1]);
+        let path = r.route(a, b).expect("flat network fully reachable");
+        check_path_valid(&net, &path, a, b);
+    }
+
+    #[test]
+    fn flat_route_to_self() {
+        let (net, r) = flat();
+        let h = net.host_ids()[0];
+        assert_eq!(r.route(h, h), Some(vec![h]));
+    }
+
+    #[test]
+    fn multi_as_routes_cross_as() {
+        let (m, r) = multi();
+        let hosts = m.network.host_ids();
+        let mut cross = 0;
+        for i in 0..hosts.len().min(12) {
+            for j in (i + 1)..hosts.len().min(12) {
+                let (a, b) = (hosts[i], hosts[j]);
+                if m.network.nodes[a.index()].as_id == m.network.nodes[b.index()].as_id {
+                    continue;
+                }
+                let path = r.route(a, b).expect("hierarchy guarantees reachability");
+                check_path_valid(&m.network, &path, a, b);
+                cross += 1;
+            }
+        }
+        assert!(cross > 0, "test needs at least one cross-AS host pair");
+    }
+
+    #[test]
+    fn multi_as_path_visits_expected_as_sequence() {
+        let (m, r) = multi();
+        let hosts = m.network.host_ids();
+        let (a, b) = (hosts[0], *hosts.last().unwrap());
+        if m.network.nodes[a.index()].as_id == m.network.nodes[b.index()].as_id {
+            return; // same AS in this seed; covered elsewhere
+        }
+        let path = r.route(a, b).unwrap();
+        // The AS sequence along the path must be loop-free at AS level.
+        let mut as_seq: Vec<u16> = path
+            .iter()
+            .map(|n| m.network.nodes[n.index()].as_id.0)
+            .collect();
+        as_seq.dedup();
+        let mut seen = std::collections::HashSet::new();
+        for &a in &as_seq {
+            assert!(seen.insert(a), "AS-level loop: {as_seq:?}");
+        }
+    }
+
+    #[test]
+    fn stub_first_hop_respects_default_routing() {
+        let (m, r) = multi();
+        // Pick a host in a stub AS with a single provider, route far.
+        let hosts = m.network.host_ids();
+        for &h in &hosts {
+            let as_h = m.network.nodes[h.index()].as_id.0 as usize;
+            let provs = m.as_graph.providers(as_h);
+            if provs.len() != 1 {
+                continue;
+            }
+            // Find a destination in a different, non-adjacent AS.
+            let Some(&d) = hosts.iter().find(|&&d| {
+                let as_d = m.network.nodes[d.index()].as_id.0;
+                as_d as usize != as_h
+                    && !m
+                        .as_graph
+                        .neighbors(as_h)
+                        .any(|(b, _)| b == as_d as usize)
+            }) else {
+                continue;
+            };
+            let path = r.route(h, d).unwrap();
+            // First AS transition must be into the sole provider.
+            let first_foreign = path
+                .iter()
+                .map(|n| m.network.nodes[n.index()].as_id.0 as usize)
+                .find(|&a| a != as_h)
+                .unwrap();
+            assert_eq!(first_foreign, provs[0], "stub did not default-route");
+            return;
+        }
+        // No single-provider stub host in this topology: vacuous.
+    }
+
+    #[test]
+    fn intra_as_route_stays_inside_as() {
+        let (m, r) = multi();
+        // Two routers of AS 0.
+        let routers = &m.routers_of[0];
+        let path = r.route(routers[0], routers[routers.len() - 1]).unwrap();
+        for n in &path {
+            assert_eq!(m.network.nodes[n.index()].as_id.0, 0);
+        }
+    }
+
+    #[test]
+    fn disabling_default_routing_still_routes() {
+        let m = generate_multi_as_network(&MultiAsTopologyConfig::tiny());
+        let r = MultiAsResolver::with_options(&m, CostMetric::Latency, false);
+        let hosts = m.network.host_ids();
+        let (a, b) = (hosts[0], *hosts.last().unwrap());
+        let path = r.route(a, b).expect("BGP-only routing works");
+        check_path_valid(&m.network, &path, a, b);
+    }
+
+    #[test]
+    fn default_and_bgp_routing_may_disagree_but_both_deliver() {
+        let (m, _) = multi();
+        let with = MultiAsResolver::with_options(&m, CostMetric::Latency, true);
+        let without = MultiAsResolver::with_options(&m, CostMetric::Latency, false);
+        let hosts = m.network.host_ids();
+        for i in 0..hosts.len().min(8) {
+            let (a, b) = (hosts[i], hosts[hosts.len() - 1 - i]);
+            if a == b {
+                continue;
+            }
+            let p1 = with.route(a, b);
+            let p2 = without.route(a, b);
+            assert_eq!(p1.is_some(), p2.is_some());
+        }
+    }
+
+    #[test]
+    fn routers_route_too() {
+        let (net, r) = flat();
+        let routers = net.router_ids();
+        let path = r
+            .route(routers[3], routers[routers.len() / 2])
+            .expect("router-to-router");
+        assert!(path
+            .iter()
+            .all(|n| net.nodes[n.index()].kind == NodeKind::Router
+                || net.nodes[n.index()].kind == NodeKind::Host));
+    }
+}
+
+#[cfg(test)]
+mod failover_tests {
+    use super::*;
+    use crate::PathResolver;
+    use massf_topology::{generate_multi_as_network, MultiAsTopologyConfig};
+
+    #[test]
+    fn multi_homed_stub_survives_primary_provider_failure() {
+        let cfg = MultiAsTopologyConfig {
+            as_count: 20,
+            routers_per_as: 8,
+            hosts: 60,
+            ..MultiAsTopologyConfig::default()
+        };
+        let m = generate_multi_as_network(&cfg);
+        let resolver = MultiAsResolver::with_options(&m, CostMetric::Latency, true);
+
+        // Find a multi-homed stub (≥ 2 providers).
+        let Some(stub) = (0..m.as_graph.n).find(|&a| {
+            m.as_graph.classes[a] == massf_topology::AsClass::Stub
+                && m.as_graph.providers(a).len() >= 2
+        }) else {
+            return; // topology has no multi-homed stub at this seed
+        };
+        let providers = m.as_graph.providers(stub);
+        let primary = *providers.iter().min().unwrap() as u16;
+        assert_eq!(resolver.primary_provider[stub], primary);
+
+        // Fail the primary provider adjacency; the backup takes over.
+        let failed = resolver
+            .with_failed_adjacency(&m, CostMetric::Latency, stub, primary as usize)
+            .expect("adjacent");
+        assert_ne!(failed.primary_provider[stub], primary);
+        assert_ne!(failed.primary_provider[stub], u16::MAX);
+
+        // Hosts of the stub can still reach remote hosts.
+        let hosts = m.network.host_ids();
+        let Some(&src) = hosts
+            .iter()
+            .find(|&&h| m.network.nodes[h.index()].as_id.0 as usize == stub)
+        else {
+            return;
+        };
+        let Some(&dst) = hosts
+            .iter()
+            .find(|&&h| m.network.nodes[h.index()].as_id.0 as usize != stub)
+        else {
+            return;
+        };
+        let path = failed.route(src, dst).expect("backup route exists");
+        // The path must not cross the failed adjacency.
+        for w in path.windows(2) {
+            let (aa, ab) = (
+                m.network.nodes[w[0].index()].as_id.0 as usize,
+                m.network.nodes[w[1].index()].as_id.0 as usize,
+            );
+            assert!(
+                !((aa == stub && ab == primary as usize)
+                    || (ab == stub && aa == primary as usize)),
+                "path crossed the failed adjacency"
+            );
+        }
+    }
+
+    #[test]
+    fn non_adjacent_failure_is_rejected() {
+        let cfg = MultiAsTopologyConfig::tiny();
+        let m = generate_multi_as_network(&cfg);
+        let resolver = MultiAsResolver::with_options(&m, CostMetric::Latency, true);
+        // An AS is never adjacent to itself.
+        assert!(resolver
+            .with_failed_adjacency(&m, CostMetric::Latency, 0, 0)
+            .is_none());
+    }
+
+    #[test]
+    fn failed_core_link_reroutes_through_clique() {
+        // The dense core is a clique, so failing one core-core peering
+        // leaves full reachability via other core members.
+        let cfg = MultiAsTopologyConfig {
+            as_count: 15,
+            routers_per_as: 6,
+            hosts: 40,
+            ..MultiAsTopologyConfig::default()
+        };
+        let m = generate_multi_as_network(&cfg);
+        let cores = m.as_graph.core_ases();
+        if cores.len() < 3 {
+            return;
+        }
+        let resolver = MultiAsResolver::with_options(&m, CostMetric::Latency, true);
+        let failed = resolver
+            .with_failed_adjacency(&m, CostMetric::Latency, cores[0], cores[1])
+            .expect("cores are adjacent");
+        assert_eq!(failed.rib().reachability_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Planar geometry for geographic node placement.
+//!
+//! The paper spreads 20,000 routers and 10,000 hosts over a
+//! 5000 mile × 5000 mile area ("roughly the size of the North American
+//! continent") and derives link propagation latency from distance.
+
+use serde::{Deserialize, Serialize};
+
+/// Speed of light in vacuum, miles per second.
+pub const LIGHT_SPEED_MI_PER_S: f64 = 186_282.0;
+
+/// Propagation speed in optical fiber (refractive index ≈ 1.5 ⇒ ~2/3 c),
+/// miles per second.
+pub const FIBER_SPEED_MI_PER_S: f64 = LIGHT_SPEED_MI_PER_S * 2.0 / 3.0;
+
+/// A point in the simulation plane, in miles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Create a point at `(x, y)` miles.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, in miles.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// Propagation delay in milliseconds for a fiber link of `miles` length.
+///
+/// A 124-mile link is roughly 1 ms; the paper's 0.1 ms-threshold steps for
+/// the HPROF sweep correspond to ~12.4-mile distance buckets.
+pub fn propagation_delay_ms(miles: f64) -> f64 {
+    miles / FIBER_SPEED_MI_PER_S * 1_000.0
+}
+
+/// Minimum latency floor for co-located equipment (switch fabric, patch
+/// fiber). Prevents zero-latency links, which a conservative discrete-event
+/// engine cannot decouple at all.
+pub const MIN_LINK_LATENCY_MS: f64 = 0.01;
+
+/// Latency for a link between two placed nodes: propagation delay with the
+/// co-location floor applied.
+pub fn link_latency_ms(a: &Point, b: &Point) -> f64 {
+    propagation_delay_ms(a.distance(b)).max(MIN_LINK_LATENCY_MS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.distance(&a), 5.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = Point::new(17.5, -3.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn propagation_delay_is_linear_in_distance() {
+        let d1 = propagation_delay_ms(100.0);
+        let d2 = propagation_delay_ms(200.0);
+        assert!((d2 - 2.0 * d1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_country_delay_is_tens_of_ms() {
+        // ~3000 miles coast-to-coast should be ~24 ms one way in fiber.
+        let d = propagation_delay_ms(3000.0);
+        assert!(d > 20.0 && d < 30.0, "got {d}");
+    }
+
+    #[test]
+    fn latency_floor_applies_to_colocated_nodes() {
+        let a = Point::new(1.0, 1.0);
+        assert_eq!(link_latency_ms(&a, &a), MIN_LINK_LATENCY_MS);
+    }
+
+    #[test]
+    fn long_links_exceed_floor() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(500.0, 0.0);
+        assert!(link_latency_ms(&a, &b) > MIN_LINK_LATENCY_MS);
+    }
+}

@@ -1,0 +1,21 @@
+//! Cross-crate integration tests for `massf-rs` live in `tests/`; this
+//! library only hosts shared helpers.
+
+use massf_core::prelude::*;
+
+/// A deterministic tiny single-AS scenario for integration tests.
+pub fn tiny_single_as(seed: u64) -> Scenario {
+    Scenario::build(ScenarioKind::SingleAs, Scale::Tiny, WorkloadKind::ScaLapack, seed)
+}
+
+/// A deterministic tiny multi-AS scenario for integration tests.
+pub fn tiny_multi_as(seed: u64) -> Scenario {
+    Scenario::build(ScenarioKind::MultiAs, Scale::Tiny, WorkloadKind::GridNpb, seed)
+}
+
+/// A mapping configuration sized for tiny scenarios.
+pub fn tiny_mapping_config(engines: usize) -> MappingConfig {
+    let mut cfg = MappingConfig::new(engines);
+    cfg.sync = SyncCostModel::new(20.0, 30.0);
+    cfg
+}
