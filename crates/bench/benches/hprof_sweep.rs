@@ -55,6 +55,31 @@ fn bench_sweep(c: &mut Criterion) {
     );
 }
 
+/// Thread scaling of the parallel sweep: identical work at 1, 2, and 4
+/// worker threads (results are bit-identical by construction; only the
+/// wall clock may differ). The 1-thread row is the sequential baseline
+/// the ISSUE's speedup criterion compares against.
+fn bench_sweep_thread_scaling(c: &mut Criterion) {
+    let (net, graph) = setup();
+    let cfg = HierConfig::new(16);
+    let mut group = c.benchmark_group("hierarchical_sweep_2k_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    massf_parutil::with_threads(threads, || {
+                        hierarchical_partition(&net, &graph, &cfg)
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_reduction(c: &mut Criterion) {
     let (net, graph) = setup();
     let mut group = c.benchmark_group("graph_reduction_2k");
@@ -69,5 +94,10 @@ fn bench_reduction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sweep, bench_reduction);
+criterion_group!(
+    benches,
+    bench_sweep,
+    bench_sweep_thread_scaling,
+    bench_reduction
+);
 criterion_main!(benches);

@@ -39,7 +39,11 @@ fn main() {
         })
         .collect();
 
-    println!("== Sync-cost ablation (single-AS {:?}, {} engines) ==", opts.scale, opts.engines());
+    println!(
+        "== Sync-cost ablation (single-AS {:?}, {} engines) ==",
+        opts.scale,
+        opts.engines()
+    );
     println!(
         "{:>10} {:>12} {:>12} {:>10} | {:>8} {:>8}",
         "C scale", "T_top2[s]", "T_hprof[s]", "HPROF adv", "PE_top2", "PE_hprof"

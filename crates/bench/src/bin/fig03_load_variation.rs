@@ -46,8 +46,8 @@ fn main() {
         let max = row.iter().copied().max().unwrap_or(0);
         let mean = row.iter().sum::<u64>() as f64 / row.len().max(1) as f64;
         print!("{:>8.2}", b as f64 * bucket_secs);
-        for p in 0..show {
-            print!(" {:>10}", row[p]);
+        for v in row.iter().take(show) {
+            print!(" {v:>10}");
         }
         println!(" {:>10} {:>10.0}", max, mean);
     }

@@ -10,7 +10,10 @@ use massf_engine::synccost::{measure_barrier_cost_us, SyncCostModel};
 fn main() {
     let model = SyncCostModel::teragrid();
     println!("== Figure 5: Synchronization Cost of the TeraGrid Cluster ==");
-    println!("{:>6} {:>16} {:>22}", "nodes", "model C(N) [us]", "measured barrier [us]");
+    println!(
+        "{:>6} {:>16} {:>22}",
+        "nodes", "model C(N) [us]", "measured barrier [us]"
+    );
     for n in [2usize, 6, 16, 48, 80, 112, 128] {
         let measured = if n <= 16 {
             format!("{:.1}", measure_barrier_cost_us(n, 200))

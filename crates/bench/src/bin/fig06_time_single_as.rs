@@ -8,8 +8,16 @@ use massf_core::prelude::*;
 
 fn main() {
     let opts = HarnessOptions::from_env();
-    let rows = run_suite(ScenarioKind::SingleAs, &opts, &MappingApproach::paper_four());
-    let title = format!("Figure 6: Simulation Time on the Single-AS Network (scale {:?}, {} engines)", opts.scale, opts.engines());
+    let rows = run_suite(
+        ScenarioKind::SingleAs,
+        &opts,
+        &MappingApproach::paper_four(),
+    );
+    let title = format!(
+        "Figure 6: Simulation Time on the Single-AS Network (scale {:?}, {} engines)",
+        opts.scale,
+        opts.engines()
+    );
     print_figure(&title, &rows, "T [s, modeled]", |m| m.simulation_time_secs);
     print_improvements(&rows);
 }

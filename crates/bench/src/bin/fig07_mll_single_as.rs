@@ -9,7 +9,11 @@ use massf_core::prelude::*;
 fn main() {
     let opts = HarnessOptions::from_env();
     let rows = run_suite(ScenarioKind::SingleAs, &opts, &MappingApproach::paper_six());
-    let title = format!("Figure 7: Achieved MLL on the Single-AS Network (scale {:?}, {} engines)", opts.scale, opts.engines());
+    let title = format!(
+        "Figure 7: Achieved MLL on the Single-AS Network (scale {:?}, {} engines)",
+        opts.scale,
+        opts.engines()
+    );
     print_figure(&title, &rows, "MLL [ms]", |m| m.achieved_mll_ms);
     print_improvements(&rows);
 }

@@ -9,7 +9,11 @@ use massf_core::prelude::*;
 fn main() {
     let opts = HarnessOptions::from_env();
     let rows = run_suite(ScenarioKind::MultiAs, &opts, &MappingApproach::paper_four());
-    let title = format!("Figure 10: Simulation Time on the Multi-AS Network (scale {:?}, {} engines)", opts.scale, opts.engines());
+    let title = format!(
+        "Figure 10: Simulation Time on the Multi-AS Network (scale {:?}, {} engines)",
+        opts.scale,
+        opts.engines()
+    );
     print_figure(&title, &rows, "T [s, modeled]", |m| m.simulation_time_secs);
     print_improvements(&rows);
 }

@@ -9,7 +9,11 @@ use massf_core::prelude::*;
 fn main() {
     let opts = HarnessOptions::from_env();
     let rows = run_suite(ScenarioKind::MultiAs, &opts, &MappingApproach::paper_six());
-    let title = format!("Figure 11: Achieved MLL on the Multi-AS Network (scale {:?}, {} engines)", opts.scale, opts.engines());
+    let title = format!(
+        "Figure 11: Achieved MLL on the Multi-AS Network (scale {:?}, {} engines)",
+        opts.scale,
+        opts.engines()
+    );
     print_figure(&title, &rows, "MLL [ms]", |m| m.achieved_mll_ms);
     print_improvements(&rows);
 }

@@ -23,7 +23,12 @@ fn main() {
             .cloned()
             .collect();
         print_figure(
-            &format!("Figure {}: Simulation Time on the {world} Network (scale {:?}, {} engines)", figs[0], opts.scale, opts.engines()),
+            &format!(
+                "Figure {}: Simulation Time on the {world} Network (scale {:?}, {} engines)",
+                figs[0],
+                opts.scale,
+                opts.engines()
+            ),
             &four,
             "T [s, modeled]",
             |m| m.simulation_time_secs,
@@ -41,7 +46,10 @@ fn main() {
             |m| m.load_imbalance,
         );
         print_figure(
-            &format!("Figure {}: Parallel Efficiency on the {world} Network", figs[3]),
+            &format!(
+                "Figure {}: Parallel Efficiency on the {world} Network",
+                figs[3]
+            ),
             &four,
             "PE",
             |m| m.parallel_efficiency,

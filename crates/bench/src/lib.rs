@@ -8,6 +8,8 @@
 //! --scale tiny|small|medium|paper   (default: small)
 //! --engines N                       (default: 90, as in the paper)
 //! --seed S                          (default: 2004)
+//! --threads T                       (default: MASSF_THREADS env, else
+//!                                    all available cores)
 //! ```
 //!
 //! Absolute numbers come from the trace-driven cluster model (DESIGN.md
@@ -29,6 +31,10 @@ pub struct HarnessOptions {
     pub seed: u64,
     /// Number of topology seeds to run and average over.
     pub repeats: usize,
+    /// Host worker threads for the parallel sweep / routing / suite
+    /// phases; `None` falls back to `MASSF_THREADS`, then to all
+    /// available cores (see `massf_parutil::current_threads`).
+    pub threads: Option<usize>,
 }
 
 impl Default for HarnessOptions {
@@ -38,6 +44,7 @@ impl Default for HarnessOptions {
             engines_override: None,
             seed: 2004,
             repeats: 1,
+            threads: None,
         }
     }
 }
@@ -92,17 +99,39 @@ impl HarnessOptions {
                         .expect("--repeats must be a number")
                         .max(1);
                 }
+                "--threads" => {
+                    opts.threads = Some(
+                        iter.next()
+                            .expect("--threads needs a value")
+                            .parse::<usize>()
+                            .expect("--threads must be a number")
+                            .max(1),
+                    );
+                }
                 other => panic!(
-                    "unknown argument {other:?} (expected --scale/--engines/--seed/--repeats)"
+                    "unknown argument {other:?} \
+                     (expected --scale/--engines/--seed/--repeats/--threads)"
                 ),
             }
         }
         opts
     }
 
-    /// Parse the real process arguments.
+    /// Parse the real process arguments and install the requested
+    /// worker-thread count process-wide.
     pub fn from_env() -> HarnessOptions {
-        Self::parse(std::env::args())
+        let opts = Self::parse(std::env::args());
+        opts.apply_threads();
+        opts
+    }
+
+    /// Install `--threads` as the process-global worker count (no-op
+    /// when the flag was absent, leaving `MASSF_THREADS` / detected
+    /// cores in charge).
+    pub fn apply_threads(&self) {
+        if let Some(t) = self.threads {
+            massf_parutil::set_threads(t);
+        }
     }
 
     /// Effective engine count.
@@ -181,26 +210,19 @@ fn run_suite_once(
     for workload in [WorkloadKind::ScaLapack, WorkloadKind::GridNpb] {
         eprintln!("# building {kind:?} scenario for {} …", workload.label());
         let scenario = Scenario::build(kind, opts.scale, workload, opts.seed);
-        let needs_profile = approaches.iter().any(|a| a.needs_profile());
-        let profile = needs_profile.then(|| {
-            eprintln!("# profiling run ({}) …", workload.label());
-            run_profiling(&scenario, duration)
-        });
-        for &approach in approaches {
-            eprintln!("# measuring {} / {} …", workload.label(), approach.label());
-            let out = run_mapping_experiment_with_profile(
-                &scenario,
-                approach,
-                &cfg,
-                &model,
-                duration,
-                approach.needs_profile().then(|| {
-                    profile.clone().expect("profiling ran")
-                }),
-            );
+        eprintln!(
+            "# measuring {} × {} approaches ({} worker threads) …",
+            workload.label(),
+            approaches.len(),
+            massf_parutil::current_threads()
+        );
+        // One shared profiling run, then all approaches concurrently
+        // (order and results identical to the old sequential loop).
+        let outputs = run_approaches(&scenario, approaches, &cfg, &model, duration);
+        for out in outputs {
             rows.push(SuiteRow {
                 workload,
-                approach,
+                approach: out.approach,
                 metrics: out.metrics,
                 total_events: out.run_stats.total_events,
             });
@@ -232,10 +254,8 @@ pub fn print_figure(
 /// Relative improvements quoted in the paper's text, printed under the
 /// figures for easy comparison (e.g. "PROF2 reduces TOP2's time by X%").
 pub fn print_improvements(rows: &[SuiteRow]) {
-    let by_key: HashMap<(WorkloadKind, MappingApproach), &SuiteRow> = rows
-        .iter()
-        .map(|r| ((r.workload, r.approach), r))
-        .collect();
+    let by_key: HashMap<(WorkloadKind, MappingApproach), &SuiteRow> =
+        rows.iter().map(|r| ((r.workload, r.approach), r)).collect();
     for workload in [WorkloadKind::ScaLapack, WorkloadKind::GridNpb] {
         let get = |a: MappingApproach| by_key.get(&(workload, a));
         if let (Some(top2), Some(prof2), Some(hprof), Some(htop)) = (
@@ -297,10 +317,13 @@ mod tests {
             s("16"),
             s("--seed"),
             s("9"),
+            s("--threads"),
+            s("2"),
         ]);
         assert_eq!(opts.scale, Scale::Tiny);
         assert_eq!(opts.engines(), 16);
         assert_eq!(opts.seed, 9);
+        assert_eq!(opts.threads, Some(2));
     }
 
     #[test]
@@ -324,6 +347,7 @@ mod tests {
             engines_override: Some(4),
             seed: 3,
             repeats: 1,
+            threads: None,
         };
         let rows = run_suite(
             ScenarioKind::SingleAs,

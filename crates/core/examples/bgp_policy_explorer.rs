@@ -25,7 +25,10 @@ fn main() {
     let count = |class: AsClass| g.classes.iter().filter(|&&c| c == class).count();
     println!("AS classification ({} ASes):", g.n);
     println!("  Core (dense core / Tier-1): {}", count(AsClass::Core));
-    println!("  Regional ISP:               {}", count(AsClass::RegionalIsp));
+    println!(
+        "  Regional ISP:               {}",
+        count(AsClass::RegionalIsp)
+    );
     println!("  Stub (customer):            {}", count(AsClass::Stub));
 
     // -- Step 3: relationships --
@@ -71,13 +74,13 @@ fn main() {
     let mut total = 0usize;
     for s in 0..g.n {
         let hops = bfs_hops(g, s);
-        for d in 0..g.n {
+        for (d, &h) in hops.iter().enumerate().take(g.n) {
             if s == d {
                 continue;
             }
             if let Some(path) = rib.as_path(s, d) {
                 total += 1;
-                if path.len() > hops[d] {
+                if path.len() > h {
                     longer += 1;
                 }
             }

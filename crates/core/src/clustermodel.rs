@@ -60,8 +60,7 @@ impl ClusterModel {
         );
         let event_secs = self.event_cost_us * 1e-6;
         let sync_secs = self.sync.cost_us(engines) * 1e-6;
-        stats.critical_path_events() as f64 * event_secs
-            + stats.window_count() as f64 * sync_secs
+        stats.critical_path_events() as f64 * event_secs + stats.window_count() as f64 * sync_secs
     }
 
     /// The paper's sequential-time approximation (seconds).
@@ -150,8 +149,7 @@ mod tests {
         let balanced = stats(vec![50, 50], vec![100, 100], 200);
         let skewed = stats(vec![100, 100], vec![200, 0], 200);
         assert!(
-            model.parallel_efficiency(&balanced, 2)
-                > model.parallel_efficiency(&skewed, 2) * 1.9
+            model.parallel_efficiency(&balanced, 2) > model.parallel_efficiency(&skewed, 2) * 1.9
         );
     }
 

@@ -57,7 +57,11 @@ pub fn efficiency(
     let weights = partition.part_weights(graph);
     let max = weights.iter().copied().max().unwrap_or(0) as f64;
     let avg = weights.iter().sum::<u64>() as f64 / partition.k as f64;
-    let ec = if max == 0.0 { 1.0 } else { (avg / max).clamp(0.0, 1.0) };
+    let ec = if max == 0.0 {
+        1.0
+    } else {
+        (avg / max).clamp(0.0, 1.0)
+    };
     PartitionEvaluation {
         mll_ms,
         es,

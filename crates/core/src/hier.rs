@@ -114,8 +114,119 @@ pub fn reduce_graph(
     (WeightedGraph::from_edges(vweights, &edges), labels)
 }
 
+/// Incrementally coarsened view of a graph along an ascending sweep of
+/// latency thresholds.
+///
+/// Merge sets only grow as `Tmll` increases, so each threshold's
+/// reduced ("dumped") graph can be built by contracting the *previous*
+/// threshold's reduced graph rather than the full graph — the per-step
+/// cost tracks the (rapidly shrinking) quotient size instead of the
+/// original network. The result is bit-identical to
+/// [`reduce_graph`] at every threshold: dense cluster labels are
+/// ordered by smallest original member, an ordering composition of
+/// contractions preserves, and edge/vertex weights are sums that
+/// re-associate exactly (see the `incremental_*` tests and the
+/// proptest invariant).
+pub struct SweepReducer {
+    /// Network links as `(latency_ms, a, b)`, ascending by latency.
+    sorted_links: Vec<(f64, u32, u32)>,
+    /// First entry of `sorted_links` not yet merged.
+    next_link: usize,
+    /// The current reduced graph.
+    reduced: WeightedGraph,
+    /// Original vertex → current reduced-graph cluster.
+    labels: Vec<u32>,
+}
+
+impl SweepReducer {
+    /// Start a sweep over `graph` (threshold 0: nothing merged).
+    pub fn new(net: &Network, graph: &WeightedGraph) -> Self {
+        let n = graph.vertex_count();
+        debug_assert_eq!(n, net.node_count());
+        let mut sorted_links: Vec<(f64, u32, u32)> = net
+            .links
+            .iter()
+            .map(|l| (l.latency_ms, l.a.index() as u32, l.b.index() as u32))
+            .collect();
+        sorted_links.sort_by(|x, y| x.0.total_cmp(&y.0));
+        SweepReducer {
+            sorted_links,
+            next_link: 0,
+            reduced: graph.clone(),
+            labels: (0..n as u32).collect(),
+        }
+    }
+
+    /// The reduced graph at the last advanced threshold.
+    pub fn reduced(&self) -> &WeightedGraph {
+        &self.reduced
+    }
+
+    /// Original vertex → reduced cluster at the last threshold.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Advance to `tmll_ms`, merging every link with a strictly smaller
+    /// latency. Thresholds must be passed in ascending order.
+    pub fn advance(&mut self, tmll_ms: f64) {
+        let k = self.reduced.vertex_count();
+        let mut uf = UnionFind::new(k);
+        let mut merged_any = false;
+        while self.next_link < self.sorted_links.len()
+            && self.sorted_links[self.next_link].0 < tmll_ms
+        {
+            let (_, a, b) = self.sorted_links[self.next_link];
+            let (ca, cb) = (self.labels[a as usize], self.labels[b as usize]);
+            if ca != cb {
+                merged_any |= uf.union(ca as usize, cb as usize);
+            }
+            self.next_link += 1;
+        }
+        if !merged_any {
+            return;
+        }
+        let (relabel, clusters) = uf.dense_labels();
+        let mut vweights = vec![0u64; clusters];
+        for v in 0..k {
+            vweights[relabel[v] as usize] += self.reduced.vertex_weight(v);
+        }
+        // Surviving-edge collection chunked across the worker pool: the
+        // first advances scan near-full-size adjacency, later ones only
+        // the shrunken quotient. Chunks concatenate in vertex order, and
+        // `from_edges` canonicalizes, so the result is order-independent.
+        let edges: Vec<(u32, u32, u64)> = massf_parutil::par_map_chunks(k, |range| {
+            let mut out = Vec::new();
+            for v in range {
+                for (u, w) in self.reduced.neighbors(v) {
+                    if u > v {
+                        let (cv, cu) = (relabel[v], relabel[u]);
+                        if cv != cu {
+                            out.push((cv, cu, w));
+                        }
+                    }
+                }
+            }
+            out
+        });
+        self.reduced = WeightedGraph::from_edges(vweights, &edges);
+        for l in self.labels.iter_mut() {
+            *l = relabel[*l as usize];
+        }
+    }
+}
+
 /// Run the hierarchical partition of `graph` (weights chosen by the
 /// caller: bandwidth ⇒ HTOP, profile ⇒ HPROF).
+///
+/// The sweep is executed in two phases: a cheap sequential pass builds
+/// every threshold's reduced graph incrementally ([`SweepReducer`]),
+/// then all candidates are partitioned and evaluated concurrently on
+/// the shared worker pool (`massf-parutil`; thread count from
+/// `--threads` / `MASSF_THREADS` / available parallelism). Results are
+/// bit-identical to a sequential sweep at any thread count: candidates
+/// keep their threshold order and the winner is chosen by a stable
+/// scan (strictly higher `E` wins, so ties keep the lowest `Tmll`).
 ///
 /// # Panics
 /// Panics when `engines == 0` or the graph is empty.
@@ -131,42 +242,62 @@ pub fn hierarchical_partition(
     // start at the first step-multiple above it.
     let first_step = (sync_ms / cfg.step_ms).floor() as usize + 1;
 
-    let mut candidates = Vec::new();
-    let mut best: Option<(Partition, f64, PartitionEvaluation)> = None;
-
+    // Phase 1 (sequential, cheap): incremental reduction per threshold.
+    let mut reducer = SweepReducer::new(net, graph);
+    let mut jobs: Vec<(f64, WeightedGraph, Vec<u32>)> = Vec::new();
     for step in 0..cfg.max_steps {
         let tmll_ms = (first_step + step) as f64 * cfg.step_ms;
-        let (reduced, labels) = reduce_graph(net, graph, tmll_ms);
-        let reduced_n = reduced.vertex_count();
-        if reduced_n < cfg.engines {
+        reducer.advance(tmll_ms);
+        if reducer.reduced().vertex_count() < cfg.engines {
             // Coarser than the engine count: no parallelism left; stop.
             break;
         }
-        let reduced_partition = metis_kway(&reduced, cfg.engines, &cfg.kway);
-        // Project to the original graph.
-        let assignment: Vec<u32> = labels
-            .iter()
-            .map(|&c| reduced_partition.assignment[c as usize])
-            .collect();
-        let partition = Partition::new(assignment, cfg.engines);
-        let eval = efficiency(net, graph, &partition, cfg.engines, &cfg.sync);
-        debug_assert!(
-            eval.mll_ms >= tmll_ms || eval.mll_ms.is_infinite(),
-            "reduction must guarantee MLL ≥ Tmll ({} < {tmll_ms})",
-            eval.mll_ms
-        );
-        candidates.push(HierCandidate {
+        jobs.push((
             tmll_ms,
-            reduced_vertices: reduced_n,
-            evaluation: eval,
+            reducer.reduced().clone(),
+            reducer.labels().to_vec(),
+        ));
+    }
+
+    // Phase 2 (parallel): partition + evaluate every candidate.
+    let evaluated: Vec<(HierCandidate, Partition)> =
+        massf_parutil::par_map(&jobs, |(tmll_ms, reduced, labels)| {
+            let reduced_partition = metis_kway(reduced, cfg.engines, &cfg.kway);
+            // Project to the original graph.
+            let assignment: Vec<u32> = labels
+                .iter()
+                .map(|&c| reduced_partition.assignment[c as usize])
+                .collect();
+            let partition = Partition::new(assignment, cfg.engines);
+            let eval = efficiency(net, graph, &partition, cfg.engines, &cfg.sync);
+            debug_assert!(
+                eval.mll_ms >= *tmll_ms || eval.mll_ms.is_infinite(),
+                "reduction must guarantee MLL ≥ Tmll ({} < {tmll_ms})",
+                eval.mll_ms
+            );
+            (
+                HierCandidate {
+                    tmll_ms: *tmll_ms,
+                    reduced_vertices: reduced.vertex_count(),
+                    evaluation: eval,
+                },
+                partition,
+            )
         });
+
+    // Phase 3 (sequential): stable winner selection — identical to the
+    // old one-pass loop, ties keep the earliest (lowest) threshold.
+    let mut candidates = Vec::with_capacity(evaluated.len());
+    let mut best: Option<(Partition, f64, PartitionEvaluation)> = None;
+    for (candidate, partition) in evaluated {
         let better = match &best {
             None => true,
-            Some((_, _, be)) => eval.e > be.e,
+            Some((_, _, be)) => candidate.evaluation.e > be.e,
         };
         if better {
-            best = Some((partition, tmll_ms, eval));
+            best = Some((partition, candidate.tmll_ms, candidate.evaluation));
         }
+        candidates.push(candidate);
     }
 
     let (partition, tmll_ms, evaluation) = best.unwrap_or_else(|| {
@@ -303,6 +434,56 @@ mod tests {
         let b = hierarchical_partition(&net, &g, &cfg(8));
         assert_eq!(a.partition.assignment, b.partition.assignment);
         assert_eq!(a.tmll_ms, b.tmll_ms);
+    }
+
+    #[test]
+    fn incremental_reducer_matches_from_scratch_at_every_threshold() {
+        let (net, g) = setup();
+        let mut reducer = SweepReducer::new(&net, &g);
+        for step in 0..30 {
+            let tmll_ms = step as f64 * 0.1;
+            reducer.advance(tmll_ms);
+            let (scratch, scratch_labels) = reduce_graph(&net, &g, tmll_ms);
+            assert_eq!(
+                reducer.reduced(),
+                &scratch,
+                "reduced graph diverged at Tmll = {tmll_ms}"
+            );
+            assert_eq!(
+                reducer.labels(),
+                &scratch_labels[..],
+                "labels diverged at Tmll = {tmll_ms}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_reducer_is_thread_count_invariant() {
+        let (net, g) = setup();
+        let run = |threads| {
+            massf_parutil::with_threads(threads, || {
+                let mut r = SweepReducer::new(&net, &g);
+                r.advance(1.5);
+                (r.reduced().clone(), r.labels().to_vec())
+            })
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let (net, g) = setup();
+        let seq = massf_parutil::with_threads(1, || hierarchical_partition(&net, &g, &cfg(8)));
+        let par = massf_parutil::with_threads(4, || hierarchical_partition(&net, &g, &cfg(8)));
+        assert_eq!(seq.partition.assignment, par.partition.assignment);
+        assert_eq!(seq.tmll_ms, par.tmll_ms);
+        assert_eq!(seq.evaluation.e.to_bits(), par.evaluation.e.to_bits());
+        assert_eq!(seq.candidates.len(), par.candidates.len());
+        for (a, b) in seq.candidates.iter().zip(&par.candidates) {
+            assert_eq!(a.tmll_ms, b.tmll_ms);
+            assert_eq!(a.reduced_vertices, b.reduced_vertices);
+            assert_eq!(a.evaluation.e.to_bits(), b.evaluation.e.to_bits());
+        }
     }
 }
 

@@ -58,18 +58,21 @@ pub mod weights;
 
 pub use clustermodel::ClusterModel;
 pub use evaluate::{achieved_mll_ms, efficiency, PartitionEvaluation};
-pub use hier::{hierarchical_partition, HierConfig, HierResult};
+pub use hier::{hierarchical_partition, reduce_graph, HierConfig, HierResult, SweepReducer};
 pub use mappers::{map_network, MappingApproach, MappingConfig, MappingResult};
 pub use metrics::{load_imbalance, parallel_efficiency, ExperimentMetrics};
-pub use pipeline::{run_mapping_experiment, run_mapping_experiment_with_profile, run_profiling, ExperimentOutput};
-pub use scenario::{Scenario, ScenarioKind, Scale, WorkloadKind};
+pub use pipeline::{
+    run_approaches, run_mapping_experiment, run_mapping_experiment_with_profile, run_profiling,
+    ExperimentOutput,
+};
+pub use scenario::{Scale, Scenario, ScenarioKind, WorkloadKind};
 pub use weights::{build_weighted_graph, EdgeWeighting, VertexWeighting};
 
 /// Convenience re-exports for downstream binaries and examples.
 pub mod prelude {
     pub use crate::{
-        achieved_mll_ms, build_weighted_graph, hierarchical_partition, load_imbalance,
-        map_network, parallel_efficiency, run_mapping_experiment,
+        achieved_mll_ms, build_weighted_graph, hierarchical_partition, load_imbalance, map_network,
+        parallel_efficiency, run_approaches, run_mapping_experiment,
         run_mapping_experiment_with_profile, run_profiling, ClusterModel, EdgeWeighting,
         ExperimentMetrics, ExperimentOutput, HierConfig, MappingApproach, MappingConfig,
         MappingResult, Scale, Scenario, ScenarioKind, VertexWeighting, WorkloadKind,

@@ -103,12 +103,8 @@ pub fn run_mapping_experiment_with_profile(
     );
 
     // 4. Metrics.
-    let metrics = ExperimentMetrics::from_run(
-        &out.stats,
-        mapping.achieved_mll_ms,
-        cfg.engines,
-        model,
-    );
+    let metrics =
+        ExperimentMetrics::from_run(&out.stats, mapping.achieved_mll_ms, cfg.engines, model);
     ExperimentOutput {
         approach,
         mapping,
@@ -117,6 +113,33 @@ pub fn run_mapping_experiment_with_profile(
         run_profile: out.profile,
         profiling_profile,
     }
+}
+
+/// Run the full pipeline for several approaches over one scenario,
+/// concurrently on the shared worker pool.
+///
+/// The profiling run is executed once (if any approach needs it) and
+/// shared, exactly as `run_suite_once` did sequentially; each
+/// approach's mapping + measured run is independent, so they fan out
+/// with `par_map`. Output order matches `approaches` order and every
+/// run is deterministic, so results are identical at any thread count.
+pub fn run_approaches(
+    scenario: &Scenario,
+    approaches: &[MappingApproach],
+    cfg: &MappingConfig,
+    model: &ClusterModel,
+    duration: SimTime,
+) -> Vec<ExperimentOutput> {
+    let shared_profile = approaches
+        .iter()
+        .any(|a| a.needs_profile())
+        .then(|| run_profiling(scenario, duration));
+    massf_parutil::par_map(approaches, |&approach| {
+        let profile = approach
+            .needs_profile()
+            .then(|| shared_profile.clone().expect("profiling run shared"));
+        run_mapping_experiment_with_profile(scenario, approach, cfg, model, duration, profile)
+    })
 }
 
 #[cfg(test)]
@@ -202,9 +225,44 @@ mod tests {
             hprof.metrics.simulation_time_secs,
             random.metrics.simulation_time_secs
         );
-        assert!(
-            hprof.metrics.parallel_efficiency > random.metrics.parallel_efficiency
-        );
+        assert!(hprof.metrics.parallel_efficiency > random.metrics.parallel_efficiency);
+    }
+
+    #[test]
+    fn run_approaches_matches_individual_runs() {
+        let s = scenario();
+        let c = cfg();
+        let model = ClusterModel::default();
+        let approaches = [
+            MappingApproach::Top2,
+            MappingApproach::Prof2,
+            MappingApproach::Hprof,
+        ];
+        let dur = SimTime::from_secs(2);
+        let batch =
+            massf_parutil::with_threads(4, || run_approaches(&s, &approaches, &c, &model, dur));
+        assert_eq!(batch.len(), approaches.len());
+        let shared = run_profiling(&s, dur);
+        for (out, &approach) in batch.iter().zip(&approaches) {
+            assert_eq!(out.approach, approach);
+            let solo = run_mapping_experiment_with_profile(
+                &s,
+                approach,
+                &c,
+                &model,
+                dur,
+                approach.needs_profile().then(|| shared.clone()),
+            );
+            assert_eq!(
+                out.mapping.partition.assignment,
+                solo.mapping.partition.assignment
+            );
+            assert_eq!(out.run_stats.total_events, solo.run_stats.total_events);
+            assert_eq!(
+                out.metrics.simulation_time_secs.to_bits(),
+                solo.metrics.simulation_time_secs.to_bits()
+            );
+        }
     }
 
     #[test]

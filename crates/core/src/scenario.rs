@@ -17,8 +17,8 @@ use massf_topology::{
     Network, NodeId,
 };
 use massf_workloads::{
-    helical_chain, mixed_bag, visualization_pipeline, HttpConfig, HttpTraffic, Pair,
-    ScaLapackApp, ScaLapackConfig, WorkflowApp,
+    helical_chain, mixed_bag, visualization_pipeline, HttpConfig, HttpTraffic, Pair, ScaLapackApp,
+    ScaLapackConfig, WorkflowApp,
 };
 use std::sync::Arc;
 
@@ -128,6 +128,8 @@ impl WorkloadKind {
 }
 
 /// The foreground application union (concrete type for composition).
+/// One instance exists per scenario, so the variant size gap is moot.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone)]
 pub enum Foreground {
     ScaLapack(ScaLapackApp),
@@ -257,8 +259,7 @@ impl Scenario {
                 let n = self.app_hosts.len().min(16);
                 let cols = if n >= 8 { 4 } else { 2 };
                 let n = n - n % cols;
-                let mut cfg =
-                    ScaLapackConfig::new(self.app_hosts[..n].to_vec(), cols, u32::MAX);
+                let mut cfg = ScaLapackConfig::new(self.app_hosts[..n].to_vec(), cols, u32::MAX);
                 // Run for the whole simulation: iterations effectively
                 // unbounded; size the panel to the scale.
                 cfg.iterations = 10_000;

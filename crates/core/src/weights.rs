@@ -94,8 +94,7 @@ pub fn build_weighted_graph(
             // multiple of the mean cannot be split anyway, and uncapped
             // outliers (hot HTTP servers) force the partitioner into
             // balance-driven moves that cut tiny-latency links.
-            let mean =
-                (p.total_node_packets() / p.node_packets.len().max(1) as u64).max(1);
+            let mean = (p.total_node_packets() / p.node_packets.len().max(1) as u64).max(1);
             let cap = mean * PROFILE_WEIGHT_CAP;
             p.node_packets.iter().map(|&c| c.clamp(1, cap)).collect()
         }
@@ -128,7 +127,9 @@ mod tests {
         assert!(
             edge_weight(0.1, EdgeWeighting::Standard) > edge_weight(1.0, EdgeWeighting::Standard)
         );
-        assert!(edge_weight(1.0, EdgeWeighting::Standard) > edge_weight(10.0, EdgeWeighting::Standard));
+        assert!(
+            edge_weight(1.0, EdgeWeighting::Standard) > edge_weight(10.0, EdgeWeighting::Standard)
+        );
     }
 
     #[test]
@@ -137,7 +138,10 @@ mod tests {
             / edge_weight(1.0, EdgeWeighting::Standard) as f64;
         let t_ratio = edge_weight(0.1, EdgeWeighting::Tuned) as f64
             / edge_weight(1.0, EdgeWeighting::Tuned) as f64;
-        assert!(t_ratio > s_ratio * 5.0, "tuned {t_ratio} vs standard {s_ratio}");
+        assert!(
+            t_ratio > s_ratio * 5.0,
+            "tuned {t_ratio} vs standard {s_ratio}"
+        );
     }
 
     #[test]
@@ -149,7 +153,12 @@ mod tests {
     #[test]
     fn bandwidth_vertex_weights() {
         let net = two_link_net();
-        let g = build_weighted_graph(&net, VertexWeighting::Bandwidth, EdgeWeighting::Standard, None);
+        let g = build_weighted_graph(
+            &net,
+            VertexWeighting::Bandwidth,
+            EdgeWeighting::Standard,
+            None,
+        );
         assert_eq!(g.vertex_count(), 3);
         assert_eq!(g.edge_count(), 2);
         // b touches 1+2 Gbps = 3000 Mbps; a touches 1000.
@@ -178,6 +187,11 @@ mod tests {
     #[should_panic(expected = "requires profile data")]
     fn profile_weighting_needs_profile() {
         let net = two_link_net();
-        build_weighted_graph(&net, VertexWeighting::Profile, EdgeWeighting::Standard, None);
+        build_weighted_graph(
+            &net,
+            VertexWeighting::Profile,
+            EdgeWeighting::Standard,
+            None,
+        );
     }
 }

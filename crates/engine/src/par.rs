@@ -76,23 +76,22 @@ pub fn run_parallel<M: Model>(
 
     let results: Vec<ThreadResult<M>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(partitions);
-        for (p, (shard, init)) in shards
-            .into_iter()
-            .zip(initial_per_part.into_iter())
-            .enumerate()
-        {
+        for (p, (shard, init)) in shards.into_iter().zip(initial_per_part).enumerate() {
             let inboxes = &inboxes;
             let barrier = &barrier;
             let poison = &poison;
             handles.push(scope.spawn(move || {
                 let mut shard = shard;
-                let mut heap: BinaryHeap<Reverse<M::Event>> = init.into_iter().map(Reverse).collect();
+                let mut heap: BinaryHeap<Reverse<M::Event>> =
+                    init.into_iter().map(Reverse).collect();
                 let mut counters = vec![0u32; lp_count];
                 let mut out_buf: Vec<EventRecord<M::Event>> = Vec::new();
                 let mut lp_events = vec![0u64; lp_count];
                 let mut window_events = vec![0u64; n_windows];
                 let mut total = 0u64;
 
+                #[allow(clippy::needless_range_loop)] // w drives both the
+                // window-end arithmetic and the per-window counter slot
                 for w in 0..n_windows {
                     let window_end = (window * (w as u64 + 1)).min(end_time);
                     // Process this window's local events.
@@ -255,8 +254,7 @@ mod tests {
         assert_eq!(seq_stats.total_events, par_stats.total_events);
         assert_eq!(seq_stats.lp_events, par_stats.lp_events);
         // Merge + sort parallel visit logs; must equal sequential order.
-        let mut merged: Vec<(u32, u64)> =
-            shards.into_iter().flat_map(|s| s.visits).collect();
+        let mut merged: Vec<(u32, u64)> = shards.into_iter().flat_map(|s| s.visits).collect();
         merged.sort_by_key(|&(_, t)| t);
         assert_eq!(merged, seq_model.visits);
     }

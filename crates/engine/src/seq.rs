@@ -119,7 +119,10 @@ mod tests {
 
     #[test]
     fn token_ring_progresses_in_time_order() {
-        let mut m = Ring { n: 4, visits: vec![] };
+        let mut m = Ring {
+            n: 4,
+            visits: vec![],
+        };
         let stats = run_sequential(
             &mut m,
             4,
@@ -133,7 +136,10 @@ mod tests {
 
     #[test]
     fn end_time_is_exclusive() {
-        let mut m = Ring { n: 2, visits: vec![] };
+        let mut m = Ring {
+            n: 2,
+            visits: vec![],
+        };
         let stats = run_sequential(
             &mut m,
             2,
@@ -169,7 +175,10 @@ mod tests {
 
     #[test]
     fn windowed_counts_attribute_correctly() {
-        let mut m = Ring { n: 2, visits: vec![] };
+        let mut m = Ring {
+            n: 2,
+            visits: vec![],
+        };
         // LP0 -> partition 0, LP1 -> partition 1; 1 ms window; events at
         // t=0(LP0),1(LP1),2(LP0),3(LP1) within end=4ms.
         let stats = run_sequential_windowed(
@@ -190,8 +199,14 @@ mod tests {
 
     #[test]
     fn windowed_and_plain_runs_agree_on_state() {
-        let mut a = Ring { n: 5, visits: vec![] };
-        let mut b = Ring { n: 5, visits: vec![] };
+        let mut a = Ring {
+            n: 5,
+            visits: vec![],
+        };
+        let mut b = Ring {
+            n: 5,
+            visits: vec![],
+        };
         let init = vec![
             (SimTime::ZERO, LpId(0), 0u8),
             (SimTime::from_ms(2), LpId(3), 0u8),
@@ -211,7 +226,10 @@ mod tests {
 
     #[test]
     fn event_rate_normalization() {
-        let mut m = Ring { n: 2, visits: vec![] };
+        let mut m = Ring {
+            n: 2,
+            visits: vec![],
+        };
         let stats = run_sequential_windowed(
             &mut m,
             2,
@@ -236,13 +254,7 @@ mod trace_tests {
     struct Ticker;
     impl crate::model::Model for Ticker {
         type Event = ();
-        fn handle(
-            &mut self,
-            t: LpId,
-            _: SimTime,
-            _: (),
-            out: &mut crate::model::Emitter<'_, ()>,
-        ) {
+        fn handle(&mut self, t: LpId, _: SimTime, _: (), out: &mut crate::model::Emitter<'_, ()>) {
             out.emit(SimTime::from_ms(1), t, ());
         }
     }

@@ -109,9 +109,15 @@ mod tests {
         let events = agent.into_initial_events();
         assert_eq!(events[0].0, SimTime::from_ms(1));
         assert_eq!(events[0].1, LpId(3));
-        assert!(matches!(events[0].2, NetEvent::SendDatagram { bytes: 100, .. }));
+        assert!(matches!(
+            events[0].2,
+            NetEvent::SendDatagram { bytes: 100, .. }
+        ));
         assert_eq!(events[1].0, SimTime::from_ms(5));
-        assert!(matches!(events[1].2, NetEvent::StartFlow { bytes: 1000, .. }));
+        assert!(matches!(
+            events[1].2,
+            NetEvent::StartFlow { bytes: 1000, .. }
+        ));
     }
 
     #[test]

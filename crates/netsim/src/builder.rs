@@ -8,7 +8,9 @@ use crate::agent::Agent;
 use crate::packet::NetEvent;
 use crate::profiling::ProfileData;
 use crate::world::{AppLogic, NetWorld, SharedNet};
-use massf_engine::{run_parallel, run_sequential, run_sequential_windowed, ExecutionStats, LpId, SimTime};
+use massf_engine::{
+    run_parallel, run_sequential, run_sequential_windowed, ExecutionStats, LpId, SimTime,
+};
 use massf_routing::PathResolver;
 use massf_topology::Network;
 use std::sync::Arc;
@@ -135,10 +137,8 @@ impl NetSimBuilder {
             end,
             window,
         );
-        let mut profile = ProfileData::new(
-            self.shared.net.node_count(),
-            self.shared.net.links.len(),
-        );
+        let mut profile =
+            ProfileData::new(self.shared.net.node_count(), self.shared.net.links.len());
         let mut apps = Vec::with_capacity(partitions);
         for shard in shards {
             let (p, a) = shard.into_parts();
@@ -158,8 +158,8 @@ mod tests {
     use super::*;
     use crate::world::NoApp;
     use massf_routing::{CostMetric, FlatResolver};
-    use massf_topology::{generate_flat_network, FlatTopologyConfig};
     use massf_topology::NodeId;
+    use massf_topology::{generate_flat_network, FlatTopologyConfig};
 
     fn builder_with_traffic() -> (NetSimBuilder, Vec<NodeId>) {
         let net = generate_flat_network(&FlatTopologyConfig::tiny());

@@ -428,8 +428,9 @@ impl<A: AppLogic> Model for NetWorld<A> {
                         };
                         let mut actions = Vec::new();
                         fs.sender.on_ack(pkt.seq, now, &mut actions);
-                        let done =
-                            apply_actions(shared, state, profile, out, &mut fs, pkt.flow, actions, now);
+                        let done = apply_actions(
+                            shared, state, profile, out, &mut fs, pkt.flow, actions, now,
+                        );
                         if done {
                             profile.completed_flows += 1;
                             profile.completed_segments += fs.sender.total_segments as u64;
@@ -794,14 +795,7 @@ mod timing_tests {
     impl AppLogic for ArrivalClock {
         fn on_flow_complete(&mut self, _: NodeId, _: FlowId, _: &mut SimApi<'_, '_>) {}
         fn on_timer(&mut self, _: NodeId, _: u64, _: &mut SimApi<'_, '_>) {}
-        fn on_datagram(
-            &mut self,
-            _: NodeId,
-            _: FlowId,
-            _: u32,
-            _: u64,
-            api: &mut SimApi<'_, '_>,
-        ) {
+        fn on_datagram(&mut self, _: NodeId, _: FlowId, _: u32, _: u64, api: &mut SimApi<'_, '_>) {
             self.0.push(api.now());
         }
     }

@@ -51,20 +51,23 @@ pub fn greedy_kcluster(g: &WeightedGraph, k: usize, seed: u64) -> Partition {
     let mut active = true;
     while assigned < n && active {
         active = false;
-        for p in 0..k {
+        for (p, fr) in frontier.iter_mut().enumerate() {
             // Pop until we find a vertex with a free neighbor.
-            while let Some(&v) = frontier[p].front() {
-                let next = g.neighbors(v).map(|(u, _)| u).find(|&u| assignment[u] == FREE);
+            while let Some(&v) = fr.front() {
+                let next = g
+                    .neighbors(v)
+                    .map(|(u, _)| u)
+                    .find(|&u| assignment[u] == FREE);
                 match next {
                     Some(u) => {
                         assignment[u] = p as u32;
-                        frontier[p].push_back(u);
+                        fr.push_back(u);
                         assigned += 1;
                         active = true;
                         break;
                     }
                     None => {
-                        frontier[p].pop_front();
+                        fr.pop_front();
                     }
                 }
             }

@@ -214,7 +214,11 @@ mod tests {
         let levels = coarsen_to(&g, 20, &mut rng());
         assert!(!levels.is_empty());
         let coarsest = &levels.last().unwrap().graph;
-        assert!(coarsest.vertex_count() <= 40, "got {}", coarsest.vertex_count());
+        assert!(
+            coarsest.vertex_count() <= 40,
+            "got {}",
+            coarsest.vertex_count()
+        );
         assert_eq!(coarsest.total_vertex_weight(), g.total_vertex_weight());
     }
 

@@ -35,7 +35,10 @@ impl WeightedGraph {
             .iter()
             .filter(|&&(u, v, _)| u != v)
             .map(|&(u, v, w)| {
-                assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+                assert!(
+                    (u as usize) < n && (v as usize) < n,
+                    "edge endpoint out of range"
+                );
                 (u.min(v), u.max(v), w)
             })
             .collect();

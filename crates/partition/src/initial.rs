@@ -46,7 +46,7 @@ pub fn greedy_growing(g: &WeightedGraph, k: usize, rng: &mut impl Rng) -> Vec<u3
                     v = (v + 1) % n;
                 }
                 let iw = g.incident_weight(v);
-                if best.map_or(true, |(bw, _)| iw < bw) {
+                if best.is_none_or(|(bw, _)| iw < bw) {
                     best = Some((iw, v));
                 }
             }
@@ -140,8 +140,7 @@ mod tests {
     }
 
     fn path(n: usize) -> WeightedGraph {
-        let edges: Vec<(u32, u32, u64)> =
-            (1..n).map(|i| ((i - 1) as u32, i as u32, 1)).collect();
+        let edges: Vec<(u32, u32, u64)> = (1..n).map(|i| ((i - 1) as u32, i as u32, 1)).collect();
         WeightedGraph::from_edges(vec![1; n], &edges)
     }
 
@@ -219,7 +218,7 @@ mod tests {
         edges.extend((11..20).map(|i| (i - 1, i, 1)));
         let g = WeightedGraph::from_edges(vec![1; 20], &edges);
         let a = greedy_growing(&g, 4, &mut rng());
-        let mut seen = vec![false; 4];
+        let mut seen = [false; 4];
         for &p in &a {
             seen[p as usize] = true;
         }

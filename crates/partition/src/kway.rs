@@ -140,7 +140,10 @@ fn bisect_rec(
     for (i, &v) in vertices.iter().enumerate() {
         index_of[v as usize] = i as u32;
     }
-    let vw: Vec<u64> = vertices.iter().map(|&v| g.vertex_weight(v as usize)).collect();
+    let vw: Vec<u64> = vertices
+        .iter()
+        .map(|&v| g.vertex_weight(v as usize))
+        .collect();
     let mut edges = Vec::new();
     for (i, &v) in vertices.iter().enumerate() {
         for (u, w) in g.neighbors(v as usize) {
@@ -159,7 +162,11 @@ fn bisect_rec(
 
     // Heavier side gets the larger k.
     let w = bi.part_weights(&sub);
-    let (small_side, _big_side) = if w[0] <= w[1] { (0u32, 1u32) } else { (1u32, 0u32) };
+    let (small_side, _big_side) = if w[0] <= w[1] {
+        (0u32, 1u32)
+    } else {
+        (1u32, 0u32)
+    };
     let mut left: Vec<u32> = Vec::new();
     let mut right: Vec<u32> = Vec::new();
     for (i, &v) in vertices.iter().enumerate() {
@@ -274,8 +281,7 @@ mod tests {
         let n = 51;
         let mut vw = vec![1u64; n];
         vw[0] = 50;
-        let edges: Vec<(u32, u32, u64)> =
-            (1..n as u32).map(|i| (i - 1, i, 1)).collect();
+        let edges: Vec<(u32, u32, u64)> = (1..n as u32).map(|i| (i - 1, i, 1)).collect();
         let g = WeightedGraph::from_edges(vw, &edges);
         let p = metis_kway(&g, 2, &KwayConfig::default());
         let w = p.part_weights(&g);

@@ -94,8 +94,7 @@ impl Partition {
         if mean == 0.0 {
             return 0.0;
         }
-        let var =
-            loads.iter().map(|&l| (l - mean) * (l - mean)).sum::<f64>() / loads.len() as f64;
+        let var = loads.iter().map(|&l| (l - mean) * (l - mean)).sum::<f64>() / loads.len() as f64;
         var.sqrt() / mean
     }
 }

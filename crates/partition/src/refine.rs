@@ -111,15 +111,12 @@ pub fn refine(
                 if !(fits || rebalances) {
                     continue;
                 }
-                let candidate_ok = gain > 0
-                    || rebalances
-                    || (gain == 0 && part_weight[p] + vw < part_weight[own]);
+                let candidate_ok =
+                    gain > 0 || rebalances || (gain == 0 && part_weight[p] + vw < part_weight[own]);
                 if candidate_ok {
                     let better = match best {
                         None => true,
-                        Some((bg, bw, _)) => {
-                            gain > bg || (gain == bg && part_weight[p] < bw)
-                        }
+                        Some((bg, bw, _)) => gain > bg || (gain == bg && part_weight[p] < bw),
                     };
                     if better {
                         best = Some((gain, part_weight[p], p));

@@ -85,13 +85,13 @@ impl UnionFind {
         let mut label = vec![u32::MAX; n];
         let mut next = 0u32;
         let mut out = vec![0u32; n];
-        for x in 0..n {
+        for (x, slot) in out.iter_mut().enumerate() {
             let r = self.find(x);
             if label[r] == u32::MAX {
                 label[r] = next;
                 next += 1;
             }
-            out[x] = label[r];
+            *slot = label[r];
         }
         (out, next as usize)
     }

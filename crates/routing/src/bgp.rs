@@ -108,8 +108,7 @@ impl BgpRib {
                                 if route.as_path.contains(&(a as u16)) {
                                     return None;
                                 }
-                                let mut as_path =
-                                    Vec::with_capacity(route.as_path.len() + 1);
+                                let mut as_path = Vec::with_capacity(route.as_path.len() + 1);
                                 as_path.push(b as u16);
                                 as_path.extend_from_slice(&route.as_path);
                                 Some(BgpRoute {
@@ -365,7 +364,10 @@ mod tests {
                                 .any(|(b, r)| b == w[1] && r == AsRelationship::PeerPeer)
                         })
                         .count();
-                    assert!(peer_steps <= 1, "{s}→{d}: {full:?} uses {peer_steps} peer links");
+                    assert!(
+                        peer_steps <= 1,
+                        "{s}→{d}: {full:?} uses {peer_steps} peer links"
+                    );
                 }
             }
         }

@@ -207,8 +207,7 @@ impl<'a> BeaconSim<'a> {
                 slot.best = new_best;
                 // Export the new state to eligible neighbors.
                 let best = self.state[a].best.clone();
-                let neighbors: Vec<(usize, AsRelationship)> =
-                    self.graph.neighbors(a).collect();
+                let neighbors: Vec<(usize, AsRelationship)> = self.graph.neighbors(a).collect();
                 for (b, rel_a_to_b) in neighbors {
                     let exported = best.as_ref().and_then(|r| {
                         if !export_allowed(r.learned_from, rel_a_to_b) {

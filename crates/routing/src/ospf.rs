@@ -151,6 +151,27 @@ impl OspfDomain {
         Spt { parent, dist }
     }
 
+    /// Precompute the SPT of *every* destination on the shared worker
+    /// pool and install them all in the cache (growing its capacity to
+    /// hold the full table, so warming is never undone by eviction).
+    ///
+    /// Each destination's Dijkstra is independent and deterministic, so
+    /// the warmed table is identical at any thread count; subsequent
+    /// `path`/`next_hop`/`distance` queries are pure cache hits.
+    pub fn warm_full_table(&self) {
+        let n = self.members.len();
+        let spts = massf_parutil::par_map_indexed(n, |dst| self.compute_spt(dst as u32));
+        let mut cache = self.cache.lock();
+        cache.capacity = cache.capacity.max(n);
+        for (dst, spt) in spts.into_iter().enumerate() {
+            let dst = dst as u32;
+            if !cache.map.contains_key(&dst) {
+                cache.order.push_back(dst);
+            }
+            cache.map.insert(dst, spt);
+        }
+    }
+
     fn with_spt<R>(&self, dst_local: u32, f: impl FnOnce(&Spt) -> R) -> R {
         let mut cache = self.cache.lock();
         if !cache.map.contains_key(&dst_local) {
@@ -240,10 +261,7 @@ mod tests {
     fn shortest_path_by_latency() {
         let (net, ids) = diamond();
         let d = OspfDomain::new(&net, ids.clone(), CostMetric::Latency);
-        assert_eq!(
-            d.path(ids[0], ids[3]),
-            Some(vec![ids[0], ids[1], ids[3]])
-        );
+        assert_eq!(d.path(ids[0], ids[3]), Some(vec![ids[0], ids[1], ids[3]]));
         assert_eq!(d.distance(ids[0], ids[3]), Some(2_000_000)); // 2 ms in ns
         assert_eq!(d.next_hop(ids[0], ids[3]), Some(ids[1]));
     }
@@ -360,6 +378,22 @@ mod tests {
         let p03_again = d.path(ids[0], ids[3]); // recompute
         assert_eq!(p03, p03_again);
         assert_eq!(p01, Some(vec![ids[0], ids[1]]));
+    }
+
+    #[test]
+    fn warm_full_table_matches_lazy_queries() {
+        let (net, ids) = diamond();
+        let lazy = OspfDomain::new(&net, ids.clone(), CostMetric::Latency);
+        // Warming must survive a tiny configured capacity (it grows it).
+        let warmed = OspfDomain::with_cache_capacity(&net, ids.clone(), CostMetric::Latency, 1);
+        warmed.warm_full_table();
+        for &s in &ids {
+            for &d in &ids {
+                assert_eq!(lazy.path(s, d), warmed.path(s, d));
+                assert_eq!(lazy.distance(s, d), warmed.distance(s, d));
+                assert_eq!(lazy.next_hop(s, d), warmed.next_hop(s, d));
+            }
+        }
     }
 
     #[test]

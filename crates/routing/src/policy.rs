@@ -39,10 +39,7 @@ pub fn local_preference(our_relationship_to_neighbor: AsRelationship) -> u32 {
 /// routes pass `None` as `learned_from`.
 ///
 /// Both relationship arguments are ours toward the respective neighbor.
-pub fn export_allowed(
-    learned_from: Option<AsRelationship>,
-    export_to: AsRelationship,
-) -> bool {
+pub fn export_allowed(learned_from: Option<AsRelationship>, export_to: AsRelationship) -> bool {
     match export_to {
         // To customers: export everything (gives them full reach).
         AsRelationship::ProviderOf => true,

@@ -13,8 +13,8 @@
 
 use crate::bgp::BgpRib;
 use crate::ospf::{CostMetric, OspfDomain};
-use massf_topology::{AsClass, MultiAsTopologyConfig, Network, NodeId};
 use massf_topology::mabrite::MultiAsNetwork;
+use massf_topology::{AsClass, MultiAsTopologyConfig, Network, NodeId};
 use std::collections::HashMap;
 
 /// Resolves full node-level paths between any two nodes.
@@ -85,12 +85,14 @@ impl MultiAsResolver {
     ) -> Self {
         let net = &m.network;
         let n_as = m.as_graph.n;
-        let domains: Vec<OspfDomain> = (0..n_as)
-            .map(|a| {
-                let members = net.nodes_in_as(massf_topology::AsId(a as u16));
-                OspfDomain::new(net, members, metric)
-            })
-            .collect();
+        // Each AS's OSPF domain is built independently (membership scan
+        // + adjacency extraction), so they fan out across the shared
+        // worker pool; index order is preserved, keeping domain `a` at
+        // slot `a`.
+        let domains: Vec<OspfDomain> = massf_parutil::par_map_indexed(n_as, |a| {
+            let members = net.nodes_in_as(massf_topology::AsId(a as u16));
+            OspfDomain::new(net, members, metric)
+        });
         let rib = BgpRib::compute(&m.as_graph);
         let as_of: Vec<u16> = net.nodes.iter().map(|n| n.as_id.0).collect();
 
@@ -149,10 +151,7 @@ impl MultiAsResolver {
         as_a: usize,
         as_b: usize,
     ) -> Option<Self> {
-        let adjacent = m
-            .as_graph
-            .neighbors(as_a)
-            .any(|(b, _)| b == as_b);
+        let adjacent = m.as_graph.neighbors(as_a).any(|(b, _)| b == as_b);
         if !adjacent {
             return None;
         }
@@ -160,12 +159,8 @@ impl MultiAsResolver {
         let reduced = m.as_graph.without_edge(as_a, as_b);
         let mut failed = Self::with_options(m, metric, self.stub_default_routing);
         failed.rib = BgpRib::compute(&reduced);
-        failed
-            .gateways
-            .remove(&(as_a as u16, as_b as u16));
-        failed
-            .gateways
-            .remove(&(as_b as u16, as_a as u16));
+        failed.gateways.remove(&(as_a as u16, as_b as u16));
+        failed.gateways.remove(&(as_b as u16, as_a as u16));
         // Re-derive primary providers from the reduced graph (a stub
         // whose sole provider link failed falls back to its backup).
         for a in 0..reduced.n {
@@ -344,10 +339,7 @@ mod tests {
             let Some(&d) = hosts.iter().find(|&&d| {
                 let as_d = m.network.nodes[d.index()].as_id.0;
                 as_d as usize != as_h
-                    && !m
-                        .as_graph
-                        .neighbors(as_h)
-                        .any(|(b, _)| b == as_d as usize)
+                    && !m.as_graph.neighbors(as_h).any(|(b, _)| b == as_d as usize)
             }) else {
                 continue;
             };
@@ -473,8 +465,7 @@ mod failover_tests {
                 m.network.nodes[w[1].index()].as_id.0 as usize,
             );
             assert!(
-                !((aa == stub && ab == primary as usize)
-                    || (ab == stub && aa == primary as usize)),
+                !((aa == stub && ab == primary as usize) || (ab == stub && aa == primary as usize)),
                 "path crossed the failed adjacency"
             );
         }

@@ -85,10 +85,10 @@ impl AsGraph {
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n]; // neighbor AS ids
         let mut raw_edges: Vec<(usize, usize)> = Vec::new();
         let add_edge = |a: usize,
-                            b: usize,
-                            degree: &mut Vec<usize>,
-                            adj: &mut Vec<Vec<usize>>,
-                            raw_edges: &mut Vec<(usize, usize)>| {
+                        b: usize,
+                        degree: &mut Vec<usize>,
+                        adj: &mut Vec<Vec<usize>>,
+                        raw_edges: &mut Vec<(usize, usize)>| {
             degree[a] += 1;
             degree[b] += 1;
             adj[a].push(b);
@@ -409,7 +409,7 @@ mod tests {
         // Paper: Customers ≈ 90% of ASes; with m=1 the vast majority of
         // ASes are degree-1 leaves.
         assert!(stubs > 50, "stubs {stubs}");
-        assert!(cores >= 2 && cores <= 10, "cores {cores}");
+        assert!((2..=10).contains(&cores), "cores {cores}");
     }
 
     #[test]

@@ -110,8 +110,7 @@ pub(crate) fn grow_powerlaw_routers(
         while added < want {
             match pick_preferential(rng, net, &routers[..i], new) {
                 Some(target) => {
-                    let lat =
-                        link_latency_ms(&positions[i], &net.nodes[target.index()].position);
+                    let lat = link_latency_ms(&positions[i], &net.nodes[target.index()].position);
                     // Bandwidth tier: links toward high-degree (backbone)
                     // routers get backbone capacity.
                     let bw = if net.degree(target) >= 2 * m + 2 {
@@ -182,7 +181,13 @@ pub fn generate_flat_network(cfg: &FlatTopologyConfig) -> Network {
         cfg.backbone_bandwidth_bps,
         cfg.edge_bandwidth_bps,
     );
-    attach_hosts(&mut net, &mut rng, &routers, cfg.hosts, cfg.host_bandwidth_bps);
+    attach_hosts(
+        &mut net,
+        &mut rng,
+        &routers,
+        cfg.hosts,
+        cfg.host_bandwidth_bps,
+    );
     debug_assert!(net.is_connected());
     net
 }

@@ -124,7 +124,10 @@ impl Network {
 
     /// Number of host nodes.
     pub fn host_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.kind == NodeKind::Host).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Host)
+            .count()
     }
 
     /// Add a node, returning its id.

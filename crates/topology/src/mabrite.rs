@@ -74,7 +74,7 @@ pub fn generate_multi_as_network(cfg: &MultiAsTopologyConfig) -> MultiAsNetwork 
     let mut routers_of: Vec<Vec<NodeId>> = Vec::with_capacity(cfg.as_count);
 
     // Per-AS router clouds (step 6a: power law inside each AS).
-    for a in 0..cfg.as_count {
+    for (a, center) in centers.iter().enumerate().take(cfg.as_count) {
         let positions = place_points(
             &mut rng,
             cfg.routers_per_as,
@@ -86,8 +86,8 @@ pub fn generate_multi_as_network(cfg: &MultiAsTopologyConfig) -> MultiAsNetwork 
         .into_iter()
         .map(|p| {
             Point::new(
-                (centers[a].x + p.x - cfg.as_radius_miles).clamp(0.0, cfg.area_miles),
-                (centers[a].y + p.y - cfg.as_radius_miles).clamp(0.0, cfg.area_miles),
+                (center.x + p.x - cfg.as_radius_miles).clamp(0.0, cfg.area_miles),
+                (center.y + p.y - cfg.as_radius_miles).clamp(0.0, cfg.area_miles),
             )
         })
         .collect::<Vec<_>>();
@@ -231,8 +231,22 @@ mod tests {
             let v: Vec<f64> = iter.collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
-        let intra = mean(&mut m.network.links.iter().filter(|l| !l.inter_as).map(|l| l.latency_ms));
-        let inter = mean(&mut m.network.links.iter().filter(|l| l.inter_as).map(|l| l.latency_ms));
+        let intra = mean(
+            &mut m
+                .network
+                .links
+                .iter()
+                .filter(|l| !l.inter_as)
+                .map(|l| l.latency_ms),
+        );
+        let inter = mean(
+            &mut m
+                .network
+                .links
+                .iter()
+                .filter(|l| l.inter_as)
+                .map(|l| l.latency_ms),
+        );
         assert!(
             intra < inter,
             "mean intra-AS latency {intra:.3} ms should be below inter-AS {inter:.3} ms"

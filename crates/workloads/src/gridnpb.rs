@@ -158,12 +158,7 @@ pub fn visualization_pipeline(
 
 /// Mixed Bag: `layers` of three tasks (LU, MG, FT) where every task of
 /// layer `l` feeds every task of layer `l+1` with asymmetric sizes.
-pub fn mixed_bag(
-    hosts: Vec<NodeId>,
-    layers: usize,
-    bytes: u64,
-    compute: SimTime,
-) -> WorkflowSpec {
+pub fn mixed_bag(hosts: Vec<NodeId>, layers: usize, bytes: u64, compute: SimTime) -> WorkflowSpec {
     assert!(hosts.len() >= 3, "MB needs at least 3 hosts");
     assert!(layers >= 1);
     let per = 3usize;
@@ -394,7 +389,12 @@ mod tests {
 
     #[test]
     fn vp_runs_to_completion() {
-        let app = run_spec(visualization_pipeline(hosts(3), 3, 50_000, SimTime::from_ms(20)));
+        let app = run_spec(visualization_pipeline(
+            hosts(3),
+            3,
+            50_000,
+            SimTime::from_ms(20),
+        ));
         assert_eq!(app.tasks_done, 9);
         assert!(app.finished_at.is_some());
     }

@@ -92,9 +92,8 @@ impl HttpTraffic {
             .clients
             .iter()
             .map(|&c| {
-                let offset = SimTime::from_secs_f64(
-                    exp_sample(&mut rng, self.cfg.mean_gap.as_secs_f64()),
-                );
+                let offset =
+                    SimTime::from_secs_f64(exp_sample(&mut rng, self.cfg.mean_gap.as_secs_f64()));
                 (
                     offset,
                     LpId(c.0),

@@ -29,7 +29,9 @@ pub mod rng;
 pub mod scalapack;
 
 pub use compose::Pair;
-pub use gridnpb::{helical_chain, mixed_bag, visualization_pipeline, WorkflowApp, WorkflowSpec, WorkflowTask};
+pub use gridnpb::{
+    helical_chain, mixed_bag, visualization_pipeline, WorkflowApp, WorkflowSpec, WorkflowTask,
+};
 pub use http::{HttpConfig, HttpTraffic};
 pub use scalapack::{ScaLapackApp, ScaLapackConfig};
 

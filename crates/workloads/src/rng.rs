@@ -7,8 +7,8 @@
 
 use massf_topology::NodeId;
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 
 /// SplitMix64 finalizer: decorrelates `(seed, host)` pairs.

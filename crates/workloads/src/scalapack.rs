@@ -37,7 +37,7 @@ impl ScaLapackConfig {
     /// A moderate default: 400 kB panels, 100 ms compute.
     pub fn new(hosts: Vec<NodeId>, grid_cols: usize, iterations: u32) -> Self {
         assert!(!hosts.is_empty());
-        assert!(grid_cols >= 1 && hosts.len() % grid_cols == 0);
+        assert!(grid_cols >= 1 && hosts.len().is_multiple_of(grid_cols));
         ScaLapackConfig {
             hosts,
             grid_cols,

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Workspace gate: formatting, lints, and the full test suite.
+# Run from anywhere; operates on the repository containing this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q
+
+echo "All checks passed."

@@ -1,0 +1,48 @@
+//! Offline shim for `serde_derive` 1: emits empty marker-trait impls
+//! for the shimmed `serde` crate. Written against `proc_macro` alone
+//! (no `syn`/`quote` available offline); supports plain structs and
+//! enums without generic parameters, which covers this workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name of the item a `struct`/`enum` keyword introduces.
+fn item_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tok {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        let name = name.to_string();
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            assert!(
+                                p.as_char() != '<',
+                                "serde_derive shim does not support generic types ({name})"
+                            );
+                        }
+                        return name;
+                    }
+                    other => panic!("expected item name after `{kw}`, got {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("serde_derive shim: no struct/enum found in derive input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}

@@ -5,12 +5,22 @@ use massf_core::prelude::*;
 
 /// A deterministic tiny single-AS scenario for integration tests.
 pub fn tiny_single_as(seed: u64) -> Scenario {
-    Scenario::build(ScenarioKind::SingleAs, Scale::Tiny, WorkloadKind::ScaLapack, seed)
+    Scenario::build(
+        ScenarioKind::SingleAs,
+        Scale::Tiny,
+        WorkloadKind::ScaLapack,
+        seed,
+    )
 }
 
 /// A deterministic tiny multi-AS scenario for integration tests.
 pub fn tiny_multi_as(seed: u64) -> Scenario {
-    Scenario::build(ScenarioKind::MultiAs, Scale::Tiny, WorkloadKind::GridNpb, seed)
+    Scenario::build(
+        ScenarioKind::MultiAs,
+        Scale::Tiny,
+        WorkloadKind::GridNpb,
+        seed,
+    )
 }
 
 /// A mapping configuration sized for tiny scenarios.

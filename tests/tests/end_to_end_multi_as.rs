@@ -62,11 +62,11 @@ fn generated_bgp_gives_full_reachability_but_policy_paths() {
                 }
             }
         }
-        for d in 0..g.n {
+        for (d, &bfs) in dist.iter().enumerate().take(g.n) {
             if s != d {
                 if let Some(p) = rib.as_path(s, d) {
-                    assert!(p.len() >= dist[d], "BGP path shorter than BFS?");
-                    if p.len() > dist[d] {
+                    assert!(p.len() >= bfs, "BGP path shorter than BFS?");
+                    if p.len() > bfs {
                         inflated += 1;
                     }
                 }
@@ -116,10 +116,8 @@ fn imbalance_multi_as_exceeds_single_as_for_topology_mapper() {
 
     let single = massf_integration::tiny_single_as(77);
     let multi = tiny_multi_as(77);
-    let s_out =
-        run_mapping_experiment(&single, MappingApproach::Top2, &cfg, &model, duration);
-    let m_out =
-        run_mapping_experiment(&multi, MappingApproach::Top2, &cfg, &model, duration);
+    let s_out = run_mapping_experiment(&single, MappingApproach::Top2, &cfg, &model, duration);
+    let m_out = run_mapping_experiment(&multi, MappingApproach::Top2, &cfg, &model, duration);
     assert!(
         m_out.metrics.load_imbalance > s_out.metrics.load_imbalance * 0.8,
         "multi-AS imbalance {} should not be far below single-AS {}",

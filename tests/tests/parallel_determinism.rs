@@ -1,0 +1,125 @@
+//! Determinism regression tests for the shared worker-pool layer:
+//! every parallelized phase — the HPROF threshold sweep, OSPF table
+//! warming, and multi-AS resolver construction — must produce results
+//! bit-identical to its sequential execution, at any thread count.
+//!
+//! These pin the ISSUE's acceptance criterion that figure output is
+//! byte-identical across `--threads` settings: all figure numbers
+//! derive from the values compared here.
+
+use massf_core::prelude::*;
+use massf_integration::{tiny_mapping_config, tiny_multi_as, tiny_single_as};
+use massf_parutil::with_threads;
+use massf_routing::{CostMetric, MultiAsResolver, OspfDomain};
+use massf_topology::{generate_multi_as_network, MultiAsTopologyConfig};
+
+/// HPROF over a scenario at a given worker-thread count, returning
+/// everything a figure would print.
+fn hprof_at(scenario: &Scenario, threads: usize) -> (Vec<u32>, u64, u64, Option<u64>) {
+    with_threads(threads, || {
+        let profile = run_profiling(scenario, SimTime::from_secs(1));
+        let cfg = tiny_mapping_config(4);
+        let mapping = map_network(&scenario.net, Some(&profile), MappingApproach::Hprof, &cfg);
+        (
+            mapping.partition.assignment.clone(),
+            mapping.achieved_mll_ms.to_bits(),
+            mapping.evaluation.e.to_bits(),
+            mapping.tmll_ms.map(f64::to_bits),
+        )
+    })
+}
+
+#[test]
+fn hprof_winner_identical_across_thread_counts_single_as() {
+    let scenario = tiny_single_as(11);
+    let seq = hprof_at(&scenario, 1);
+    for threads in [2, 4, 8] {
+        assert_eq!(seq, hprof_at(&scenario, threads), "threads = {threads}");
+    }
+}
+
+#[test]
+fn hprof_winner_identical_across_thread_counts_multi_as() {
+    let scenario = tiny_multi_as(23);
+    let seq = hprof_at(&scenario, 1);
+    for threads in [2, 4] {
+        assert_eq!(seq, hprof_at(&scenario, threads), "threads = {threads}");
+    }
+}
+
+#[test]
+fn full_suite_rows_identical_across_thread_counts() {
+    let scenario = tiny_single_as(7);
+    let cfg = tiny_mapping_config(4);
+    let model = ClusterModel::default();
+    let approaches = [
+        MappingApproach::Top2,
+        MappingApproach::Prof2,
+        MappingApproach::Htop,
+        MappingApproach::Hprof,
+    ];
+    let run = |threads| {
+        with_threads(threads, || {
+            run_approaches(&scenario, &approaches, &cfg, &model, SimTime::from_secs(1))
+                .into_iter()
+                .map(|o| {
+                    (
+                        o.approach,
+                        o.mapping.partition.assignment,
+                        o.run_stats.total_events,
+                        o.metrics.simulation_time_secs.to_bits(),
+                        o.metrics.parallel_efficiency.to_bits(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        })
+    };
+    assert_eq!(run(1), run(4));
+}
+
+#[test]
+fn ospf_full_table_identical_across_thread_counts() {
+    let scenario = tiny_single_as(3);
+    let net = &scenario.net;
+    let members: Vec<_> = net.nodes.iter().map(|n| n.id).collect();
+    let table_at = |threads: usize| {
+        with_threads(threads, || {
+            let d = OspfDomain::new(net, members.clone(), CostMetric::Latency);
+            d.warm_full_table();
+            let mut table = Vec::new();
+            for &s in &members {
+                for &t in members.iter().step_by(7) {
+                    table.push((d.next_hop(s, t), d.distance(s, t)));
+                }
+            }
+            table
+        })
+    };
+    let seq = table_at(1);
+    for threads in [2, 4] {
+        assert_eq!(seq, table_at(threads), "threads = {threads}");
+    }
+}
+
+#[test]
+fn multi_as_resolver_identical_across_thread_counts() {
+    let cfg = MultiAsTopologyConfig::tiny();
+    let m = generate_multi_as_network(&cfg);
+    let hosts = m.network.host_ids();
+    let routes_at = |threads: usize| {
+        with_threads(threads, || {
+            let r = MultiAsResolver::new(&m, CostMetric::Latency, &cfg);
+            let mut routes = Vec::new();
+            for &a in &hosts {
+                for &b in hosts.iter().step_by(5) {
+                    routes.push(massf_routing::PathResolver::route(&r, a, b));
+                }
+            }
+            routes
+        })
+    };
+    let seq = routes_at(1);
+    for threads in [2, 4] {
+        assert_eq!(seq, routes_at(threads), "threads = {threads}");
+    }
+}

@@ -17,12 +17,7 @@ fn parallel_run_matches_sequential_under_hprof_mapping() {
     let scenario = tiny_single_as(41);
     let cfg = tiny_mapping_config(3);
     let profile = run_profiling(&scenario, SimTime::from_secs(1));
-    let mapping = map_network(
-        &scenario.net,
-        Some(&profile),
-        MappingApproach::Hprof,
-        &cfg,
-    );
+    let mapping = map_network(&scenario.net, Some(&profile), MappingApproach::Hprof, &cfg);
     let window = mll_window(&scenario, &mapping.partition.assignment);
     assert!(window > SimTime::ZERO);
 
@@ -36,7 +31,10 @@ fn parallel_run_matches_sequential_under_hprof_mapping() {
 
     assert_eq!(seq.stats.total_events, par.stats.total_events);
     assert_eq!(seq.stats.lp_events, par.stats.lp_events);
-    assert_eq!(seq.profile, par.profile, "traffic counters must be identical");
+    assert_eq!(
+        seq.profile, par.profile,
+        "traffic counters must be identical"
+    );
 }
 
 #[test]

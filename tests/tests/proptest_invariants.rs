@@ -1,7 +1,7 @@
 //! Property-based invariants across the workspace, on randomly
 //! generated graphs, topologies, and event workloads.
 
-use massf_core::hier::reduce_graph;
+use massf_core::hier::{reduce_graph, SweepReducer};
 use massf_core::prelude::*;
 use massf_core::{EdgeWeighting, VertexWeighting};
 use massf_engine::{run_parallel, run_sequential, Emitter, LpId, Model};
@@ -13,10 +13,12 @@ use proptest::prelude::*;
 /// Strategy: a connected weighted graph as (vertex weights, extra edges).
 /// A random spanning path guarantees connectivity.
 fn connected_graph() -> impl Strategy<Value = WeightedGraph> {
-    (2usize..60, proptest::collection::vec((0u32..60, 0u32..60, 1u64..100), 0..120))
+    (
+        2usize..60,
+        proptest::collection::vec((0u32..60, 0u32..60, 1u64..100), 0..120),
+    )
         .prop_map(|(n, extra)| {
-            let mut edges: Vec<(u32, u32, u64)> =
-                (1..n as u32).map(|i| (i - 1, i, 1)).collect();
+            let mut edges: Vec<(u32, u32, u64)> = (1..n as u32).map(|i| (i - 1, i, 1)).collect();
             for (a, b, w) in extra {
                 let (a, b) = (a % n as u32, b % n as u32);
                 if a != b {
@@ -131,6 +133,44 @@ proptest! {
             }
         }
     }
+
+    /// Coarsening Tmll_k from Tmll_{k-1}'s reduced graph (the
+    /// incremental `SweepReducer` path) must be bit-identical to
+    /// reducing the full graph from scratch at every threshold of an
+    /// ascending sweep, at any worker-thread count.
+    #[test]
+    fn incremental_reduction_equals_from_scratch(
+        routers in 40usize..120,
+        seed in 0u64..500,
+        step_tenths in 1u32..8,
+        threads in 1usize..5,
+    ) {
+        let step = step_tenths as f64 / 10.0;
+        let net = generate_flat_network(&FlatTopologyConfig {
+            routers,
+            hosts: 10,
+            metro_count: 6,
+            seed,
+            ..FlatTopologyConfig::default()
+        });
+        let graph = massf_core::build_weighted_graph(
+            &net, VertexWeighting::Bandwidth, EdgeWeighting::Standard, None,
+        );
+        massf_parutil::with_threads(threads, || {
+            let mut reducer = SweepReducer::new(&net, &graph);
+            for k in 0..12 {
+                let tmll = k as f64 * step;
+                reducer.advance(tmll);
+                let (scratch, scratch_labels) = reduce_graph(&net, &graph, tmll);
+                assert_eq!(
+                    reducer.reduced(),
+                    &scratch,
+                    "graph diverged at Tmll {tmll} (threads {threads})"
+                );
+                assert_eq!(reducer.labels(), &scratch_labels[..]);
+            }
+        });
+    }
 }
 
 /// A model whose LPs mix state deterministically: each event carries a
@@ -143,13 +183,17 @@ struct Mixer {
 
 impl Model for Mixer {
     type Event = u64;
-    fn handle(&mut self, target: LpId, now: massf_engine::SimTime, v: u64, out: &mut Emitter<'_, u64>) {
+    fn handle(
+        &mut self,
+        target: LpId,
+        now: massf_engine::SimTime,
+        v: u64,
+        out: &mut Emitter<'_, u64>,
+    ) {
         let h = &mut self.hash[target.index()];
-        *h = h
-            .wrapping_mul(0x100000001B3)
-            .wrapping_add(v ^ now.as_ns());
+        *h = h.wrapping_mul(0x100000001B3).wrapping_add(v ^ now.as_ns());
         let next = (target.0.wrapping_mul(7).wrapping_add(3)) % self.n;
-        if v % 97 != 0 {
+        if !v.is_multiple_of(97) {
             out.emit(
                 massf_engine::SimTime::from_ms(1 + (v % 5)),
                 LpId(next),
