@@ -59,70 +59,132 @@ pub fn default_engines(scale: Scale) -> usize {
     }
 }
 
+/// Usage text shared by every figure binary, printed (with the concrete
+/// error) on invalid arguments before exiting with status 2.
+pub const USAGE: &str = "\
+usage: <figure-binary> [options]
+  --scale tiny|small|medium|paper   problem size (default: small)
+  --engines N                       simulated engine count (default: per scale)
+  --seed S                          topology seed (default: 2004)
+  --repeats R                       topology seeds to average over (default: 1)
+  --threads T                       host worker threads, T >= 1
+                                    (default: MASSF_THREADS env, else all cores)";
+
+fn flag_value(iter: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    iter.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn flag_number(v: &str, flag: &str) -> Result<usize, String> {
+    v.parse()
+        .map_err(|_| format!("{flag} must be a number, got {v:?}"))
+}
+
 impl HarnessOptions {
-    /// Parse `std::env::args()`-style arguments (ignores argv[0]).
-    pub fn parse(args: impl IntoIterator<Item = String>) -> HarnessOptions {
+    /// Parse `std::env::args()`-style arguments (ignores argv[0]),
+    /// rejecting anything unrecognized.
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<HarnessOptions, String> {
+        let (opts, rest) = Self::try_parse_partial(args)?;
+        if let Some(first) = rest.first() {
+            return Err(format!(
+                "unknown argument {first:?} \
+                 (expected --scale/--engines/--seed/--repeats/--threads)"
+            ));
+        }
+        Ok(opts)
+    }
+
+    /// Like [`HarnessOptions::try_parse`], but hands unrecognized
+    /// arguments back to the caller, in order — for binaries that layer
+    /// extra flags on top of the shared harness set.
+    pub fn try_parse_partial(
+        args: impl IntoIterator<Item = String>,
+    ) -> Result<(HarnessOptions, Vec<String>), String> {
         let mut opts = HarnessOptions::default();
+        let mut rest = Vec::new();
         let mut iter = args.into_iter().skip(1);
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--scale" => {
-                    let v = iter.next().expect("--scale needs a value");
+                    let v = flag_value(&mut iter, "--scale")?;
                     opts.scale = match v.as_str() {
                         "tiny" => Scale::Tiny,
                         "small" => Scale::Small,
                         "medium" => Scale::Medium,
                         "paper" => Scale::Paper,
-                        other => panic!("unknown scale {other:?}"),
+                        other => {
+                            return Err(format!(
+                                "unknown scale {other:?} (expected tiny|small|medium|paper)"
+                            ))
+                        }
                     };
                 }
                 "--engines" => {
-                    opts.engines_override = Some(
-                        iter.next()
-                            .expect("--engines needs a value")
-                            .parse()
-                            .expect("--engines must be a number"),
-                    );
+                    let v = flag_value(&mut iter, "--engines")?;
+                    let n = flag_number(&v, "--engines")?;
+                    if n == 0 {
+                        return Err("--engines must be >= 1".to_string());
+                    }
+                    opts.engines_override = Some(n);
                 }
                 "--seed" => {
-                    opts.seed = iter
-                        .next()
-                        .expect("--seed needs a value")
+                    let v = flag_value(&mut iter, "--seed")?;
+                    opts.seed = v
                         .parse()
-                        .expect("--seed must be a number");
+                        .map_err(|_| format!("--seed must be a number, got {v:?}"))?;
                 }
                 "--repeats" => {
-                    opts.repeats = iter
-                        .next()
-                        .expect("--repeats needs a value")
-                        .parse::<usize>()
-                        .expect("--repeats must be a number")
-                        .max(1);
+                    let v = flag_value(&mut iter, "--repeats")?;
+                    let n = flag_number(&v, "--repeats")?;
+                    if n == 0 {
+                        return Err("--repeats must be >= 1".to_string());
+                    }
+                    opts.repeats = n;
                 }
                 "--threads" => {
-                    opts.threads = Some(
-                        iter.next()
-                            .expect("--threads needs a value")
-                            .parse::<usize>()
-                            .expect("--threads must be a number")
-                            .max(1),
-                    );
+                    let v = flag_value(&mut iter, "--threads")?;
+                    let n = flag_number(&v, "--threads")?;
+                    if n == 0 {
+                        return Err("--threads must be >= 1".to_string());
+                    }
+                    opts.threads = Some(n);
                 }
-                other => panic!(
-                    "unknown argument {other:?} \
-                     (expected --scale/--engines/--seed/--repeats/--threads)"
-                ),
+                _ => rest.push(arg),
             }
         }
-        opts
+        Ok((opts, rest))
+    }
+
+    /// Print `err` plus the usage text and exit with status 2 (the
+    /// conventional bad-command-line status).
+    pub fn usage_exit(err: &str) -> ! {
+        eprintln!("error: {err}\n\n{USAGE}");
+        std::process::exit(2);
     }
 
     /// Parse the real process arguments and install the requested
-    /// worker-thread count process-wide.
+    /// worker-thread count process-wide. Invalid arguments print usage
+    /// and exit(2) instead of panicking.
     pub fn from_env() -> HarnessOptions {
-        let opts = Self::parse(std::env::args());
-        opts.apply_threads();
-        opts
+        match Self::try_parse(std::env::args()) {
+            Ok(opts) => {
+                opts.apply_threads();
+                opts
+            }
+            Err(e) => Self::usage_exit(&e),
+        }
+    }
+
+    /// [`HarnessOptions::from_env`] for binaries with extra flags:
+    /// returns the unrecognized arguments for the caller to interpret
+    /// (and reject via [`HarnessOptions::usage_exit`]).
+    pub fn from_env_partial() -> (HarnessOptions, Vec<String>) {
+        match Self::try_parse_partial(std::env::args()) {
+            Ok((opts, rest)) => {
+                opts.apply_threads();
+                (opts, rest)
+            }
+            Err(e) => Self::usage_exit(&e),
+        }
     }
 
     /// Install `--threads` as the process-global worker count (no-op
@@ -309,7 +371,7 @@ mod tests {
 
     #[test]
     fn parses_arguments() {
-        let opts = HarnessOptions::parse(vec![
+        let opts = HarnessOptions::try_parse(vec![
             s("bin"),
             s("--scale"),
             s("tiny"),
@@ -319,7 +381,8 @@ mod tests {
             s("9"),
             s("--threads"),
             s("2"),
-        ]);
+        ])
+        .expect("valid arguments");
         assert_eq!(opts.scale, Scale::Tiny);
         assert_eq!(opts.engines(), 16);
         assert_eq!(opts.seed, 9);
@@ -328,16 +391,50 @@ mod tests {
 
     #[test]
     fn defaults_match_paper() {
-        let opts = HarnessOptions::parse(vec![s("bin")]);
+        let opts = HarnessOptions::try_parse(vec![s("bin")]).expect("no arguments is valid");
         assert_eq!(opts.engines(), default_engines(Scale::Small));
         assert_eq!(opts.scale, Scale::Small);
         assert_eq!(default_engines(Scale::Paper), 90);
     }
 
     #[test]
-    #[should_panic(expected = "unknown scale")]
     fn rejects_bad_scale() {
-        HarnessOptions::parse(vec![s("bin"), s("--scale"), s("huge")]);
+        let err = HarnessOptions::try_parse(vec![s("bin"), s("--scale"), s("huge")])
+            .expect_err("bad scale must be rejected");
+        assert!(err.contains("unknown scale"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_flag_values() {
+        for args in [
+            vec![s("bin"), s("--threads"), s("zero")],
+            vec![s("bin"), s("--threads"), s("0")],
+            vec![s("bin"), s("--engines"), s("0")],
+            vec![s("bin"), s("--repeats"), s("0")],
+            vec![s("bin"), s("--seed"), s("NaN")],
+            vec![s("bin"), s("--threads")],
+            vec![s("bin"), s("--frobnicate")],
+        ] {
+            assert!(
+                HarnessOptions::try_parse(args.clone()).is_err(),
+                "{args:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_parse_hands_back_extra_flags() {
+        let (opts, rest) = HarnessOptions::try_parse_partial(vec![
+            s("bin"),
+            s("--smoke"),
+            s("--threads"),
+            s("2"),
+            s("--flaps"),
+            s("12"),
+        ])
+        .expect("harness flags valid");
+        assert_eq!(opts.threads, Some(2));
+        assert_eq!(rest, vec![s("--smoke"), s("--flaps"), s("12")]);
     }
 
     #[test]

@@ -1,0 +1,9 @@
+//! The workspace error type, re-exported at the top of the stack.
+//!
+//! [`MassfError`] is *defined* in `massf-topology` (`topology/src/error.rs`)
+//! because the crates that return it — `massf-routing`, `massf-faults`,
+//! `massf-netsim` — sit below `massf-core` in the dependency graph and a
+//! definition here would create a cycle. This module is the documented
+//! user-facing import point: `use massf_core::error::MassfError`.
+
+pub use massf_topology::MassfError;

@@ -48,6 +48,7 @@
 //! ```
 
 pub mod clustermodel;
+pub mod error;
 pub mod evaluate;
 pub mod hier;
 pub mod mappers;
@@ -57,6 +58,7 @@ pub mod scenario;
 pub mod weights;
 
 pub use clustermodel::ClusterModel;
+pub use error::MassfError;
 pub use evaluate::{achieved_mll_ms, efficiency, PartitionEvaluation};
 pub use hier::{hierarchical_partition, reduce_graph, HierConfig, HierResult, SweepReducer};
 pub use mappers::{map_network, MappingApproach, MappingConfig, MappingResult};
@@ -75,7 +77,7 @@ pub mod prelude {
         parallel_efficiency, run_approaches, run_mapping_experiment,
         run_mapping_experiment_with_profile, run_profiling, ClusterModel, EdgeWeighting,
         ExperimentMetrics, ExperimentOutput, HierConfig, MappingApproach, MappingConfig,
-        MappingResult, Scale, Scenario, ScenarioKind, VertexWeighting, WorkloadKind,
+        MappingResult, MassfError, Scale, Scenario, ScenarioKind, VertexWeighting, WorkloadKind,
     };
     pub use massf_engine::{SimTime, SyncCostModel};
     pub use massf_partition::{metis_kway, KwayConfig, Partition, WeightedGraph};

@@ -10,7 +10,7 @@
 //! on one machine; `Scale::Paper` reproduces the full sizes.
 
 use massf_engine::{LpId, SimTime};
-use massf_netsim::{AppLogic, FlowId, NetEvent, SimApi};
+use massf_netsim::{AbortReason, AppLogic, FlowId, NetEvent, SimApi};
 use massf_routing::{CostMetric, FlatResolver, MultiAsResolver, PathResolver};
 use massf_topology::{
     generate_flat_network, generate_multi_as_network, FlatTopologyConfig, MultiAsTopologyConfig,
@@ -177,6 +177,23 @@ impl AppLogic for Foreground {
                 hc.on_datagram(host, from, bytes, meta, api);
                 vp.on_datagram(host, from, bytes, meta, api);
                 mb.on_datagram(host, from, bytes, meta, api);
+            }
+        }
+    }
+
+    fn on_flow_aborted(
+        &mut self,
+        host: NodeId,
+        flow: FlowId,
+        reason: AbortReason,
+        api: &mut SimApi<'_, '_>,
+    ) {
+        match self {
+            Foreground::ScaLapack(a) => a.on_flow_aborted(host, flow, reason, api),
+            Foreground::GridNpb { hc, vp, mb } => {
+                hc.on_flow_aborted(host, flow, reason, api);
+                vp.on_flow_aborted(host, flow, reason, api);
+                mb.on_flow_aborted(host, flow, reason, api);
             }
         }
     }

@@ -11,6 +11,7 @@ use crate::world::{AppLogic, NetWorld, SharedNet};
 use massf_engine::{
     run_parallel, run_sequential, run_sequential_windowed, ExecutionStats, LpId, SimTime,
 };
+use massf_faults::{FaultKind, FaultState};
 use massf_routing::PathResolver;
 use massf_topology::Network;
 use std::sync::Arc;
@@ -42,6 +43,19 @@ impl NetSimBuilder {
         }
     }
 
+    /// A builder over `net` with fault injection: routing follows the
+    /// fault timeline (see [`SharedNet::with_faults`]) and every scripted
+    /// fault is additionally injected as a first-class
+    /// [`NetEvent::Fault`] event, appended *after* all traffic events so
+    /// event tags — and therefore the parallel execution order — stay
+    /// deterministic regardless of when traffic was added.
+    pub fn new_with_faults(net: Network, faults: Arc<FaultState>) -> Self {
+        NetSimBuilder {
+            shared: SharedNet::with_faults(net, faults),
+            initial: Vec::new(),
+        }
+    }
+
     /// The shared network handle (topology + routing + link constants).
     pub fn shared(&self) -> Arc<SharedNet> {
         self.shared.clone()
@@ -69,13 +83,37 @@ impl NetSimBuilder {
         self
     }
 
+    /// All initial events for a run: the accumulated traffic, then the
+    /// fault script (if any) as `Fault` events in time-sorted order.
+    /// Fault events target the LP of the faulted entity (a link's `a`
+    /// endpoint, the crashed router) so the reconvergence work is
+    /// attributed near the fault; adjacency events target LP 0.
+    fn initial_events(&self) -> Vec<(SimTime, LpId, NetEvent)> {
+        let mut events = self.initial.clone();
+        if let Some(faults) = &self.shared.faults {
+            for e in faults.script().sorted_events() {
+                let lp = match e.kind {
+                    FaultKind::LinkDown(l) | FaultKind::LinkUp(l) => {
+                        LpId(self.shared.net.links[l.index()].a.0)
+                    }
+                    FaultKind::RouterCrash(n) | FaultKind::RouterRecover(n) => LpId(n.0),
+                    FaultKind::AsAdjacencyFail { .. } | FaultKind::AsAdjacencyRestore { .. } => {
+                        LpId(0)
+                    }
+                };
+                events.push((e.at, lp, NetEvent::Fault { kind: e.kind }));
+            }
+        }
+        events
+    }
+
     /// Run on the sequential reference executor.
     pub fn run_sequential<A: AppLogic>(&self, app: A, end: SimTime) -> SimOutput<A> {
         let mut world = NetWorld::new(self.shared.clone(), app);
         let stats = run_sequential(
             &mut world,
             self.shared.lp_count(),
-            self.initial.clone(),
+            self.initial_events(),
             end,
         );
         let (profile, app) = world.into_parts();
@@ -101,7 +139,7 @@ impl NetSimBuilder {
         let stats = run_sequential_windowed(
             &mut world,
             self.shared.lp_count(),
-            self.initial.clone(),
+            self.initial_events(),
             end,
             window,
             assignment,
@@ -133,7 +171,7 @@ impl NetSimBuilder {
             shards,
             self.shared.lp_count(),
             assignment,
-            self.initial.clone(),
+            self.initial_events(),
             end,
             window,
         );

@@ -1,5 +1,6 @@
 //! Packets, flows, and the network event type.
 
+use massf_faults::FaultKind;
 use massf_topology::NodeId;
 use std::sync::Arc;
 
@@ -85,6 +86,12 @@ pub enum NetEvent {
     StartFlow { dst: NodeId, bytes: u64 },
     /// Ask the target host to send one UDP datagram.
     SendDatagram { dst: NodeId, bytes: u32, meta: u64 },
+    /// A scripted fault fires (injected by the builder from a
+    /// `massf_faults::FaultScript`). State flips are time-based in
+    /// [`massf_faults::FaultState`]; this event makes the fault a
+    /// first-class, counted occurrence and forces the routing
+    /// reconvergence for the new epoch at fault time.
+    Fault { kind: FaultKind },
 }
 
 /// Maximum segment size (TCP payload bytes per data packet).

@@ -26,6 +26,13 @@ pub struct ProfileData {
     /// Flow/datagram requests whose destination was unreachable (BGP
     /// policy) or identical to the source.
     pub unroutable: u64,
+    /// Packets lost to injected faults: dropped at a dead link or dead
+    /// node (at transmit or on arrival), as opposed to queue `drops`.
+    pub fault_drops: u64,
+    /// TCP flows that gave up after exhausting their retry budget.
+    pub aborted_flows: u64,
+    /// Scripted fault events handled (link/router/adjacency state flips).
+    pub fault_events: u64,
 }
 
 impl ProfileData {
@@ -38,6 +45,9 @@ impl ProfileData {
             completed_flows: 0,
             completed_segments: 0,
             unroutable: 0,
+            fault_drops: 0,
+            aborted_flows: 0,
+            fault_events: 0,
         }
     }
 
@@ -58,6 +68,9 @@ impl ProfileData {
         self.completed_flows += other.completed_flows;
         self.completed_segments += other.completed_segments;
         self.unroutable += other.unroutable;
+        self.fault_drops += other.fault_drops;
+        self.aborted_flows += other.aborted_flows;
+        self.fault_events += other.fault_events;
     }
 
     /// Total packets handled across all nodes.
@@ -86,12 +99,18 @@ mod tests {
         b.link_packets = vec![30];
         b.completed_flows = 2;
         b.unroutable = 5;
+        b.fault_drops = 7;
+        b.aborted_flows = 3;
+        b.fault_events = 4;
         a.merge(&b);
         assert_eq!(a.node_packets, vec![11, 22]);
         assert_eq!(a.link_packets, vec![33]);
         assert_eq!(a.drops, 1);
         assert_eq!(a.completed_flows, 2);
         assert_eq!(a.unroutable, 5);
+        assert_eq!(a.fault_drops, 7);
+        assert_eq!(a.aborted_flows, 3);
+        assert_eq!(a.fault_events, 4);
         assert_eq!(a.total_node_packets(), 33);
         assert_eq!(a.total_link_packets(), 33);
     }

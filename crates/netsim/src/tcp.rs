@@ -24,6 +24,9 @@ pub const INITIAL_RTO: SimTime = SimTime(1_000_000_000);
 pub const MIN_RTO: SimTime = SimTime(200_000_000);
 /// Upper bound on the RTO.
 pub const MAX_RTO: SimTime = SimTime(16_000_000_000);
+/// Consecutive retransmission timeouts tolerated before a flow gives
+/// up (≈ 47 s with the default RTO schedule: 1+2+4+8+16+16 s).
+pub const MAX_RETRIES: u32 = 6;
 
 /// Sender-side actions decided by the state machine; the world layer
 /// turns them into packets and timers.
@@ -33,6 +36,30 @@ pub enum SendAction {
     Transmit { seq: u32 },
     /// The flow completed (all segments acknowledged).
     Complete,
+    /// The flow gave up: the retry budget is exhausted without forward
+    /// progress (the loss-tolerance escape hatch — a flow across a dead
+    /// path terminates instead of retransmitting forever).
+    Abort,
+}
+
+/// Why a TCP flow terminated without completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// `MAX_RETRIES` consecutive retransmission timeouts elapsed with no
+    /// new data acknowledged.
+    RetryBudgetExhausted,
+    /// Same retry exhaustion, but routing additionally reported the
+    /// destination unreachable when the sender tried to fail over.
+    Unroutable,
+}
+
+impl std::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbortReason::RetryBudgetExhausted => write!(f, "retry budget exhausted"),
+            AbortReason::Unroutable => write!(f, "destination unroutable"),
+        }
+    }
 }
 
 /// TCP sender for one flow.
@@ -65,8 +92,14 @@ pub struct TcpSender {
     /// True once a retransmission happened for the current `acked` value
     /// (suppresses RTT sampling per Karn).
     retransmitted_low: bool,
+    /// Consecutive retransmission timeouts with no forward progress.
+    pub retries: u32,
+    /// Retry budget; `retries` exceeding it aborts the flow.
+    pub max_retries: u32,
     /// Completed?
     pub done: bool,
+    /// Gave up (retry budget exhausted)?
+    pub aborted: bool,
 }
 
 impl TcpSender {
@@ -85,7 +118,10 @@ impl TcpSender {
             timer_epoch: 0,
             rtt_probe: None,
             retransmitted_low: false,
+            retries: 0,
+            max_retries: MAX_RETRIES,
             done: false,
+            aborted: false,
         }
     }
 
@@ -120,11 +156,13 @@ impl TcpSender {
 
     /// Handle a cumulative ACK for "next expected = `ack`" at `now`.
     pub fn on_ack(&mut self, ack: u32, now: SimTime, out: &mut Vec<SendAction>) {
-        if self.done {
+        if self.done || self.aborted {
             return;
         }
         if ack > self.acked {
-            // New data acknowledged.
+            // New data acknowledged: forward progress resets the retry
+            // budget.
+            self.retries = 0;
             self.retransmitted_low = false;
             // RTT sample per Karn's algorithm.
             if let Some((probe_seq, sent_at)) = self.rtt_probe {
@@ -168,7 +206,13 @@ impl TcpSender {
 
     /// Handle an RTO firing (caller checked the epoch).
     pub fn on_timeout(&mut self, out: &mut Vec<SendAction>) {
-        if self.done || self.in_flight() == 0 {
+        if self.done || self.aborted || self.in_flight() == 0 {
+            return;
+        }
+        self.retries += 1;
+        if self.retries > self.max_retries {
+            self.aborted = true;
+            out.push(SendAction::Abort);
             return;
         }
         self.ssthresh = (self.cwnd / 2.0).max(2.0);
@@ -204,7 +248,7 @@ impl TcpSender {
 
     /// Does the flow still need a running retransmission timer?
     pub fn needs_timer(&self) -> bool {
-        !self.done && self.in_flight() > 0
+        !self.done && !self.aborted && self.in_flight() > 0
     }
 }
 
@@ -388,6 +432,7 @@ mod tests {
                 match a {
                     SendAction::Transmit { seq } => pending.push(seq),
                     SendAction::Complete => completed = true,
+                    SendAction::Abort => panic!("lossless transfer cannot abort"),
                 }
             }
         }
@@ -405,6 +450,52 @@ mod tests {
         // retransmission will resend it).
         assert_eq!(r.on_data(2), 3);
         assert_eq!(r.segments_seen, 4);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_aborts() {
+        let mut s = TcpSender::new(100_000);
+        drain(&mut s, SimTime::ZERO);
+        let mut out = Vec::new();
+        for i in 0..MAX_RETRIES {
+            out.clear();
+            s.on_timeout(&mut out);
+            assert!(
+                out.contains(&SendAction::Transmit { seq: 0 }),
+                "retry {i} still retransmits"
+            );
+            assert!(!s.aborted);
+        }
+        out.clear();
+        s.on_timeout(&mut out);
+        assert_eq!(out, vec![SendAction::Abort]);
+        assert!(s.aborted);
+        assert!(!s.needs_timer(), "aborted flows stop their timer");
+        // Further events are inert.
+        out.clear();
+        s.on_timeout(&mut out);
+        s.on_ack(1, SimTime::from_ms(1), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn forward_progress_resets_retry_budget() {
+        let mut s = TcpSender::new(100_000);
+        drain(&mut s, SimTime::ZERO);
+        let mut out = Vec::new();
+        for _ in 0..MAX_RETRIES {
+            s.on_timeout(&mut out);
+        }
+        assert_eq!(s.retries, MAX_RETRIES);
+        out.clear();
+        s.on_ack(1, SimTime::from_ms(5), &mut out); // new data acked
+        assert_eq!(s.retries, 0, "an advancing ACK must reset the budget");
+        assert!(!s.aborted);
+        for _ in 0..MAX_RETRIES {
+            out.clear();
+            s.on_timeout(&mut out);
+            assert!(!s.aborted, "full budget available again");
+        }
     }
 
     #[test]

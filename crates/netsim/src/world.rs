@@ -9,8 +9,9 @@
 
 use crate::packet::{FlowId, NetEvent, Packet, PacketKind, ACK_BYTES, HEADER_BYTES, MSS};
 use crate::profiling::ProfileData;
-use crate::tcp::{SendAction, TcpReceiver, TcpSender};
+use crate::tcp::{AbortReason, SendAction, TcpReceiver, TcpSender};
 use massf_engine::{Emitter, LpId, Model, SimTime};
+use massf_faults::FaultState;
 use massf_routing::PathResolver;
 use massf_topology::{Link, Network, NodeId};
 use std::collections::HashMap;
@@ -28,6 +29,10 @@ pub enum TransportKind {
 pub struct SharedNet {
     pub net: Network,
     pub resolver: Arc<dyn PathResolver>,
+    /// Scripted fault timeline, when fault injection is enabled. All
+    /// queries are pure functions of virtual time, so sharing one
+    /// instance across partitions preserves parallel determinism.
+    pub faults: Option<Arc<FaultState>>,
     /// `(from, to)` → link index, both directions.
     port: HashMap<(u32, u32), u32>,
     /// Drop-tail buffer size per link, bytes.
@@ -38,6 +43,23 @@ impl SharedNet {
     /// Derive shared state. Buffers default to 50 ms of line rate,
     /// floored at 30 kB (≈ 20 packets).
     pub fn new(net: Network, resolver: Arc<dyn PathResolver>) -> Arc<Self> {
+        Self::build(net, resolver, None)
+    }
+
+    /// Like [`SharedNet::new`], with fault injection enabled: routing
+    /// follows the fault timeline's per-epoch resolvers (epoch 0 — the
+    /// fault-free prefix — uses `faults`' base resolver) and packets
+    /// touching dead links or nodes are dropped.
+    pub fn with_faults(net: Network, faults: Arc<FaultState>) -> Arc<Self> {
+        let resolver = faults.resolver_for_epoch(0).clone();
+        Self::build(net, resolver, Some(faults))
+    }
+
+    fn build(
+        net: Network,
+        resolver: Arc<dyn PathResolver>,
+        faults: Option<Arc<FaultState>>,
+    ) -> Arc<Self> {
         let mut port = HashMap::with_capacity(net.links.len() * 2);
         let mut buffer_bytes = Vec::with_capacity(net.links.len());
         for link in &net.links {
@@ -48,6 +70,7 @@ impl SharedNet {
         Arc::new(SharedNet {
             net,
             resolver,
+            faults,
             port,
             buffer_bytes,
         })
@@ -58,6 +81,16 @@ impl SharedNet {
         self.port
             .get(&(from.0, to.0))
             .map(|&l| &self.net.links[l as usize])
+    }
+
+    /// The path resolver in force at `now`: the epoch resolver of the
+    /// fault timeline when faults are enabled, the static resolver
+    /// otherwise.
+    pub fn resolver_at(&self, now: SimTime) -> &dyn PathResolver {
+        match &self.faults {
+            Some(f) => f.resolver_at(now).as_ref(),
+            None => self.resolver.as_ref(),
+        }
     }
 
     /// Number of LPs (all nodes are LPs).
@@ -108,7 +141,7 @@ impl SimApi<'_, '_> {
     /// Send one UDP datagram of `bytes` payload to `dst`, carrying the
     /// app-opaque `meta` word. Returns false when unreachable.
     pub fn send_datagram(&mut self, dst: NodeId, bytes: u32, meta: u64) -> bool {
-        let Some(path) = route_arc(self.shared, self.host, dst) else {
+        let Some(path) = route_arc(self.shared, self.host, dst, self.now) else {
             self.profile.unroutable += 1;
             return false;
         };
@@ -165,6 +198,17 @@ pub trait AppLogic: Send {
         _api: &mut SimApi<'_, '_>,
     ) {
     }
+
+    /// A TCP flow started by `host` gave up (retry budget exhausted,
+    /// typically because a fault severed its path). Default: ignore.
+    fn on_flow_aborted(
+        &mut self,
+        _host: NodeId,
+        _flow: FlowId,
+        _reason: AbortReason,
+        _api: &mut SimApi<'_, '_>,
+    ) {
+    }
 }
 
 /// An [`AppLogic`] that does nothing (pure background-free forwarding).
@@ -183,6 +227,15 @@ struct FlowState {
     rpath: Arc<[NodeId]>,
     /// Epoch of the currently armed RTO timer.
     armed_epoch: u32,
+    /// The last fault-driven re-resolution found no path (colors the
+    /// abort reason).
+    unroutable: bool,
+}
+
+impl FlowState {
+    fn destination(&self) -> NodeId {
+        *self.path.last().expect("paths are non-empty")
+    }
 }
 
 /// Mutable per-node state. A world touches only entries belonging to its
@@ -248,19 +301,21 @@ impl<A: AppLogic> NetWorld<A> {
     }
 }
 
-/// Resolve a route and wrap it in an `Arc`, requiring ≥ 2 nodes.
-fn route_arc(shared: &SharedNet, src: NodeId, dst: NodeId) -> Option<Arc<[NodeId]>> {
+/// Resolve a route at virtual time `now` and wrap it in an `Arc`,
+/// requiring ≥ 2 nodes.
+fn route_arc(shared: &SharedNet, src: NodeId, dst: NodeId, now: SimTime) -> Option<Arc<[NodeId]>> {
     if src == dst {
         return None;
     }
-    let path = shared.resolver.route(src, dst)?;
+    let path = shared.resolver_at(now).route(src, dst)?;
     debug_assert!(path.len() >= 2);
     Some(path.into())
 }
 
 /// Put `pkt` on the wire at `pkt.path[pkt.hop] → pkt.path[pkt.hop+1]`.
 /// Applies store-and-forward serialization, FIFO queueing, and drop-tail
-/// loss; schedules the arrival at the next hop.
+/// loss; schedules the arrival at the next hop. Packets offered to a
+/// dead link or dead endpoint are counted as fault drops.
 fn transmit(
     shared: &SharedNet,
     state: &mut NodeStates,
@@ -274,6 +329,12 @@ fn transmit(
     let link = shared
         .link_between(from, to)
         .expect("resolved paths follow existing links");
+    if let Some(f) = &shared.faults {
+        if !f.is_link_up(link.id, now) || !f.is_node_up(from, now) || !f.is_node_up(to, now) {
+            profile.fault_drops += 1;
+            return;
+        }
+    }
     let dir = usize::from(from != link.a);
     let slot = link.id.index() * 2 + dir;
 
@@ -307,7 +368,7 @@ fn start_tcp_flow_inner(
     bytes: u64,
     now: SimTime,
 ) -> Option<FlowId> {
-    let Some(path) = route_arc(shared, src, dst) else {
+    let Some(path) = route_arc(shared, src, dst, now) else {
         profile.unroutable += 1;
         return None;
     };
@@ -324,6 +385,7 @@ fn start_tcp_flow_inner(
         path,
         rpath,
         armed_epoch: u32::MAX,
+        unroutable: false,
     };
     apply_actions(shared, state, profile, emitter, &mut fs, flow, actions, now);
     arm_timer(emitter, src, flow, &mut fs);
@@ -331,7 +393,15 @@ fn start_tcp_flow_inner(
     Some(flow)
 }
 
-/// Turn sender actions into packets; returns true if the flow completed.
+/// How a batch of sender actions left the flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlowOutcome {
+    Active,
+    Completed,
+    Aborted,
+}
+
+/// Turn sender actions into packets; reports whether the flow ended.
 #[allow(clippy::too_many_arguments)]
 fn apply_actions(
     shared: &SharedNet,
@@ -342,8 +412,8 @@ fn apply_actions(
     flow: FlowId,
     actions: Vec<SendAction>,
     now: SimTime,
-) -> bool {
-    let mut completed = false;
+) -> FlowOutcome {
+    let mut outcome = FlowOutcome::Active;
     for action in actions {
         match action {
             SendAction::Transmit { seq } => {
@@ -361,10 +431,11 @@ fn apply_actions(
                 };
                 transmit(shared, state, profile, emitter, pkt, now);
             }
-            SendAction::Complete => completed = true,
+            SendAction::Complete => outcome = FlowOutcome::Completed,
+            SendAction::Abort => outcome = FlowOutcome::Aborted,
         }
     }
-    completed
+    outcome
 }
 
 /// (Re-)arm the RTO timer when needed and not already armed for the
@@ -401,6 +472,19 @@ impl<A: AppLogic> Model for NetWorld<A> {
 
         match event {
             NetEvent::Arrive(pkt) => {
+                // A packet that was in flight when its link or either
+                // endpoint died is lost (checked at arrival time; `hop`
+                // was already advanced past the traversed link).
+                if let Some(f) = &shared.faults {
+                    let prev = pkt.path[pkt.hop as usize - 1];
+                    let link_up = shared
+                        .link_between(prev, node)
+                        .is_some_and(|l| f.is_link_up(l.id, now));
+                    if !link_up || !f.is_node_up(node, now) {
+                        profile.fault_drops += 1;
+                        return;
+                    }
+                }
                 profile.node_packets[node.index()] += 1;
                 if !pkt.at_destination() {
                     transmit(shared, state, profile, out, pkt, now);
@@ -428,28 +512,35 @@ impl<A: AppLogic> Model for NetWorld<A> {
                         };
                         let mut actions = Vec::new();
                         fs.sender.on_ack(pkt.seq, now, &mut actions);
-                        let done = apply_actions(
+                        let outcome = apply_actions(
                             shared, state, profile, out, &mut fs, pkt.flow, actions, now,
                         );
-                        if done {
-                            profile.completed_flows += 1;
-                            profile.completed_segments += fs.sender.total_segments as u64;
-                            // NOTE: the receiver-side entry lives at the
-                            // *destination* LP and must not be touched
-                            // from here (LP locality); it is simply left
-                            // behind, bounded by the flow count.
-                            let mut api = SimApi {
-                                host: node,
-                                now,
-                                shared,
-                                state,
-                                profile,
-                                emitter: out,
-                            };
-                            app.on_flow_complete(node, pkt.flow, &mut api);
-                        } else {
-                            arm_timer(out, node, pkt.flow, &mut fs);
-                            state.senders.insert(pkt.flow, fs);
+                        match outcome {
+                            FlowOutcome::Completed => {
+                                profile.completed_flows += 1;
+                                profile.completed_segments += fs.sender.total_segments as u64;
+                                // NOTE: the receiver-side entry lives at
+                                // the *destination* LP and must not be
+                                // touched from here (LP locality); it is
+                                // simply left behind, bounded by the
+                                // flow count.
+                                let mut api = SimApi {
+                                    host: node,
+                                    now,
+                                    shared,
+                                    state,
+                                    profile,
+                                    emitter: out,
+                                };
+                                app.on_flow_complete(node, pkt.flow, &mut api);
+                            }
+                            // ACKs acknowledge progress; they never
+                            // exhaust the retry budget.
+                            FlowOutcome::Aborted => unreachable!("ACKs cannot abort a flow"),
+                            FlowOutcome::Active => {
+                                arm_timer(out, node, pkt.flow, &mut fs);
+                                state.senders.insert(pkt.flow, fs);
+                            }
                         }
                     }
                     PacketKind::Datagram => {
@@ -476,12 +567,53 @@ impl<A: AppLogic> Model for NetWorld<A> {
                     return;
                 }
                 fs.armed_epoch = u32::MAX;
+                // Under fault injection a timeout may mean the path died:
+                // re-resolve against the current epoch and fail over to
+                // the reconverged path before retransmitting. (Skipped
+                // entirely in fault-free runs, whose behavior must not
+                // change.)
+                if shared.faults.is_some() {
+                    match route_arc(shared, node, fs.destination(), now) {
+                        Some(path) => {
+                            fs.unroutable = false;
+                            if path != fs.path {
+                                fs.rpath = path.iter().rev().copied().collect();
+                                fs.path = path;
+                            }
+                        }
+                        None => fs.unroutable = true,
+                    }
+                }
                 let mut actions = Vec::new();
                 fs.sender.on_timeout(&mut actions);
-                let done = apply_actions(shared, state, profile, out, &mut fs, flow, actions, now);
-                debug_assert!(!done, "timeout cannot complete a flow");
-                arm_timer(out, node, flow, &mut fs);
-                state.senders.insert(flow, fs);
+                let outcome =
+                    apply_actions(shared, state, profile, out, &mut fs, flow, actions, now);
+                match outcome {
+                    FlowOutcome::Completed => unreachable!("timeout cannot complete a flow"),
+                    FlowOutcome::Aborted => {
+                        profile.aborted_flows += 1;
+                        let reason = if fs.unroutable {
+                            AbortReason::Unroutable
+                        } else {
+                            AbortReason::RetryBudgetExhausted
+                        };
+                        // As with completion, the receiver-side entry at
+                        // the destination LP is left behind.
+                        let mut api = SimApi {
+                            host: node,
+                            now,
+                            shared,
+                            state,
+                            profile,
+                            emitter: out,
+                        };
+                        app.on_flow_aborted(node, flow, reason, &mut api);
+                    }
+                    FlowOutcome::Active => {
+                        arm_timer(out, node, flow, &mut fs);
+                        state.senders.insert(flow, fs);
+                    }
+                }
             }
             NetEvent::AppTimer { token } => {
                 let mut api = SimApi {
@@ -498,7 +630,7 @@ impl<A: AppLogic> Model for NetWorld<A> {
                 start_tcp_flow_inner(shared, state, profile, out, node, dst, bytes, now);
             }
             NetEvent::SendDatagram { dst, bytes, meta } => {
-                let Some(path) = route_arc(shared, node, dst) else {
+                let Some(path) = route_arc(shared, node, dst, now) else {
                     profile.unroutable += 1;
                     return;
                 };
@@ -517,6 +649,16 @@ impl<A: AppLogic> Model for NetWorld<A> {
                     meta,
                 };
                 transmit(shared, state, profile, out, pkt, now);
+            }
+            NetEvent::Fault { kind: _kind } => {
+                profile.fault_events += 1;
+                // Pay the reconvergence (SPT/RIB rebuild) at fault time
+                // rather than at the next routed packet. Idempotent and
+                // deterministic: the build is a pure function of the
+                // epoch, whichever partition triggers it first.
+                if let Some(f) = &shared.faults {
+                    f.reconverge_at(now);
+                }
             }
         }
     }

@@ -295,7 +295,7 @@ mod tests {
                         is_valley_free(&g, &full),
                         "path {s}→{d} = {full:?} has a valley"
                     );
-                    assert_eq!(*path.last().unwrap() as usize, d);
+                    assert_eq!(*path.last().expect("RIB paths are non-empty") as usize, d);
                 }
             }
         }

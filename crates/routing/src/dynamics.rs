@@ -390,4 +390,41 @@ mod tests {
         sim.announce();
         sim.announce();
     }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Fault-dynamics invariant: on *any* random AS graph,
+        /// withdraw → re-announce converges within the round budget and
+        /// returns the protocol to its baseline state (same episode
+        /// stats, full reachability restored).
+        #[test]
+        fn withdraw_reannounce_always_converges(
+            n in 4usize..32,
+            seed in 0u64..10_000,
+            origin_raw in 0usize..1024,
+        ) {
+            let g = AsGraph::generate(n, 2, 0.1, seed);
+            let origin = origin_raw % g.n;
+            let budget = 16 * g.n + 16;
+            let mut sim = BeaconSim::new(&g, origin);
+
+            let a1 = sim.announce();
+            prop_assert!(a1.rounds <= budget, "announce: {} rounds", a1.rounds);
+            prop_assert_eq!(sim.reachable_count(), g.n - 1);
+
+            let w = sim.withdraw();
+            prop_assert!(w.rounds <= budget, "withdraw: {} rounds", w.rounds);
+            prop_assert_eq!(sim.reachable_count(), 0);
+
+            let a2 = sim.announce();
+            prop_assert!(a2.rounds <= budget, "re-announce: {} rounds", a2.rounds);
+            prop_assert_eq!(sim.reachable_count(), g.n - 1);
+            // Withdrawal fully reset protocol state: the re-announce
+            // episode is indistinguishable from the first.
+            prop_assert_eq!(a1, a2);
+        }
+    }
 }

@@ -84,12 +84,30 @@ impl OspfDomain {
         metric: CostMetric,
         cache_capacity: usize,
     ) -> Self {
+        Self::with_link_filter(net, members, metric, cache_capacity, |_| true)
+    }
+
+    /// Like [`OspfDomain::with_cache_capacity`] but only links for which
+    /// `alive(link)` holds enter the adjacency — the reconvergence
+    /// primitive of the fault subsystem: rebuilding a domain with dead
+    /// links (or all links of a crashed router) filtered out yields the
+    /// post-fault shortest-path trees.
+    pub fn with_link_filter(
+        net: &Network,
+        members: Vec<NodeId>,
+        metric: CostMetric,
+        cache_capacity: usize,
+        alive: impl Fn(&massf_topology::Link) -> bool,
+    ) -> Self {
         let mut local_of = vec![u32::MAX; net.node_count()];
         for (i, &m) in members.iter().enumerate() {
             local_of[m.index()] = i as u32;
         }
         let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); members.len()];
         for link in &net.links {
+            if !alive(link) {
+                continue;
+            }
             let (la, lb) = (local_of[link.a.index()], local_of[link.b.index()]);
             if la != u32::MAX && lb != u32::MAX {
                 let c = metric.cost(link);
@@ -400,11 +418,43 @@ mod tests {
     fn path_endpoints_and_continuity() {
         let (net, ids) = diamond();
         let d = OspfDomain::new(&net, ids.clone(), CostMetric::Latency);
-        let p = d.path(ids[2], ids[1]).unwrap();
-        assert_eq!(*p.first().unwrap(), ids[2]);
-        assert_eq!(*p.last().unwrap(), ids[1]);
+        let p = d.path(ids[2], ids[1]).expect("diamond is connected");
+        assert_eq!(*p.first().expect("path non-empty"), ids[2]);
+        assert_eq!(*p.last().expect("path non-empty"), ids[1]);
         for w in p.windows(2) {
             assert!(net.has_link(w[0], w[1]), "gap {w:?}");
         }
+    }
+
+    #[test]
+    fn link_filter_reroutes_around_dead_link() {
+        let (net, ids) = diamond();
+        // Kill the cheap 0-1 link: traffic must detour via 2.
+        let dead = net
+            .links
+            .iter()
+            .find(|l| (l.a, l.b) == (ids[0], ids[1]) || (l.a, l.b) == (ids[1], ids[0]))
+            .expect("diamond has a 0-1 link")
+            .id;
+        let d = OspfDomain::with_link_filter(&net, ids.clone(), CostMetric::Latency, 1024, |l| {
+            l.id != dead
+        });
+        assert_eq!(
+            d.path(ids[0], ids[3]),
+            Some(vec![ids[0], ids[2], ids[3]]),
+            "must detour via node 2"
+        );
+        assert_eq!(d.distance(ids[0], ids[3]), Some(6_000_000)); // 6 ms in ns
+    }
+
+    #[test]
+    fn link_filter_can_disconnect() {
+        let (net, ids) = diamond();
+        // Kill both of node 3's links: it becomes unreachable.
+        let d = OspfDomain::with_link_filter(&net, ids.clone(), CostMetric::Latency, 1024, |l| {
+            l.a != ids[3] && l.b != ids[3]
+        });
+        assert_eq!(d.path(ids[0], ids[3]), None);
+        assert_eq!(d.path(ids[0], ids[1]), Some(vec![ids[0], ids[1]]));
     }
 }

@@ -1,0 +1,75 @@
+//! The workspace-shared structured error type.
+//!
+//! `MassfError` lives here — at the bottom of the crate stack — so that
+//! every layer above (`massf-routing`, `massf-faults`, `massf-netsim`,
+//! `massf-core`) can return it without a dependency cycle. `massf-core`
+//! re-exports it from `crates/core/src/error.rs` as the user-facing
+//! entry point.
+
+use std::fmt;
+
+/// Structured errors for fault-path and configuration code. Library
+/// crates return `Result<_, MassfError>` from fallible operations
+/// instead of panicking, so fault injection and CLI layers can react
+/// (reroute, abort a flow, print usage) rather than crash the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MassfError {
+    /// No path exists between the endpoints (partition or BGP policy).
+    Unroutable { src: u32, dst: u32 },
+    /// A node id outside the network (or outside the routing domain).
+    UnknownNode(u32),
+    /// A link id outside the network.
+    UnknownLink(u32),
+    /// The two ASes are not adjacent in the AS-level graph.
+    NotAdjacent { as_a: usize, as_b: usize },
+    /// A routing process exceeded its convergence-round budget.
+    NonConvergence { rounds: usize, budget: usize },
+    /// A fault script references invalid entities or is inconsistent
+    /// (e.g. `LinkUp` for a link that is already up).
+    InvalidFaultScript(String),
+    /// Invalid configuration or command-line arguments.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for MassfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MassfError::Unroutable { src, dst } => {
+                write!(f, "no route from node {src} to node {dst}")
+            }
+            MassfError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            MassfError::UnknownLink(id) => write!(f, "unknown link id {id}"),
+            MassfError::NotAdjacent { as_a, as_b } => {
+                write!(f, "AS {as_a} and AS {as_b} are not adjacent")
+            }
+            MassfError::NonConvergence { rounds, budget } => {
+                write!(f, "no convergence after {rounds} rounds (budget {budget})")
+            }
+            MassfError::InvalidFaultScript(msg) => write!(f, "invalid fault script: {msg}"),
+            MassfError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MassfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MassfError::Unroutable { src: 3, dst: 9 };
+        assert_eq!(e.to_string(), "no route from node 3 to node 9");
+        let e = MassfError::NotAdjacent { as_a: 1, as_b: 2 };
+        assert!(e.to_string().contains("not adjacent"));
+        let e = MassfError::InvalidFaultScript("link 99 out of range".into());
+        assert!(e.to_string().contains("link 99"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&MassfError::UnknownLink(1));
+    }
+}

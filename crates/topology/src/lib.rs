@@ -24,6 +24,7 @@
 pub mod ashier;
 pub mod brite;
 pub mod config;
+pub mod error;
 pub mod geom;
 pub mod graph;
 pub mod mabrite;
@@ -31,6 +32,7 @@ pub mod mabrite;
 pub use ashier::{AsClass, AsGraph, AsRelationship};
 pub use brite::generate_flat_network;
 pub use config::{FlatTopologyConfig, MultiAsTopologyConfig};
+pub use error::MassfError;
 pub use geom::{propagation_delay_ms, Point};
 pub use graph::{AsId, Link, LinkId, Network, Node, NodeId, NodeKind};
 pub use mabrite::generate_multi_as_network;

@@ -6,7 +6,7 @@
 //! namespace and ignores everything else, so composition is plain
 //! fan-out: deliver each callback to both members.
 
-use massf_netsim::{AppLogic, FlowId, SimApi};
+use massf_netsim::{AbortReason, AppLogic, FlowId, SimApi};
 use massf_topology::NodeId;
 
 /// Two workloads running concurrently. Nest pairs for more.
@@ -45,6 +45,17 @@ impl<A: AppLogic, B: AppLogic> AppLogic for Pair<A, B> {
     ) {
         self.first.on_datagram(host, from, bytes, meta, api);
         self.second.on_datagram(host, from, bytes, meta, api);
+    }
+
+    fn on_flow_aborted(
+        &mut self,
+        host: NodeId,
+        flow: FlowId,
+        reason: AbortReason,
+        api: &mut SimApi<'_, '_>,
+    ) {
+        self.first.on_flow_aborted(host, flow, reason, api);
+        self.second.on_flow_aborted(host, flow, reason, api);
     }
 }
 

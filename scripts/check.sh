@@ -10,7 +10,14 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy (routing + faults: deny unwrap) =="
+cargo clippy -p massf-routing -p massf-faults --all-targets -- \
+    -D warnings -D clippy::unwrap_used
+
 echo "== cargo test =="
 cargo test -q
+
+echo "== fault_flap_study --smoke =="
+cargo run --release -q -p massf-bench --bin fault_flap_study -- --smoke
 
 echo "All checks passed."

@@ -9,9 +9,12 @@
 
 use massf_core::prelude::*;
 use massf_integration::{tiny_mapping_config, tiny_multi_as, tiny_single_as};
+use massf_netsim::{Agent, FaultScript, FaultState, NetSimBuilder, NoApp};
 use massf_parutil::with_threads;
 use massf_routing::{CostMetric, MultiAsResolver, OspfDomain};
-use massf_topology::{generate_multi_as_network, MultiAsTopologyConfig};
+use massf_topology::{
+    generate_flat_network, generate_multi_as_network, FlatTopologyConfig, MultiAsTopologyConfig,
+};
 
 /// HPROF over a scenario at a given worker-thread count, returning
 /// everything a figure would print.
@@ -98,6 +101,93 @@ fn ospf_full_table_identical_across_thread_counts() {
     let seq = table_at(1);
     for threads in [2, 4] {
         assert_eq!(seq, table_at(threads), "threads = {threads}");
+    }
+}
+
+/// A fault-injected network run must be bit-identical between the
+/// sequential engine and the parallel engine at any partition / worker
+/// count. The script deliberately places one fault at *exactly* the
+/// same timestamp as a traffic injection: fault events carry engine
+/// tags like any other external event, so colliding timestamps sort
+/// deterministically regardless of which LP processes them first.
+#[test]
+fn fault_injected_run_identical_across_thread_counts() {
+    let net = generate_flat_network(&FlatTopologyConfig::tiny());
+    let hosts = net.host_ids();
+    let collision = SimTime::from_ms(50);
+
+    // Fresh per run: epoch resolvers are built lazily (and, with PR 1's
+    // pool, in parallel), so each run must reconverge at its own thread
+    // count rather than inherit tables warmed by a previous run.
+    let make_faults = || {
+        let mut script = FaultScript::new();
+        script.link_down(collision, net.links[0].id);
+        script.link_up(SimTime::from_ms(400), net.links[0].id);
+        script.link_down(SimTime::from_ms(200), net.links[7].id);
+        script.link_up(SimTime::from_ms(600), net.links[7].id);
+        FaultState::flat(&net, CostMetric::Latency, script).expect("script validates")
+    };
+
+    let traffic = || {
+        let mut agent = Agent::new();
+        for (i, pair) in hosts.chunks(2).take(24).enumerate() {
+            if let [a, b] = pair {
+                agent.inject_tcp(
+                    SimTime::from_ms(10 * i as u64),
+                    *a,
+                    *b,
+                    20_000 + 1_000 * i as u64,
+                );
+            }
+        }
+        // This flow starts at the first fault's exact timestamp.
+        agent.inject_tcp(collision, hosts[0], hosts[hosts.len() - 1], 30_000);
+        agent
+    };
+
+    let duration = SimTime::from_secs(2);
+    let fingerprint = |threads: usize, partitions: usize| {
+        with_threads(threads, || {
+            let faults = make_faults();
+            let mut builder = NetSimBuilder::new_with_faults(net.clone(), faults.clone());
+            builder.add_agent(traffic());
+            let out = if partitions == 1 {
+                builder.run_sequential(NoApp, duration)
+            } else {
+                let assignment: Vec<u32> = (0..net.node_count())
+                    .map(|i| (i % partitions) as u32)
+                    .collect();
+                let mut window = f64::INFINITY;
+                for link in &net.links {
+                    if assignment[link.a.index()] != assignment[link.b.index()] {
+                        window = window.min(link.latency_ms);
+                    }
+                }
+                builder.run_parallel(
+                    NoApp,
+                    duration,
+                    SimTime::from_ms_f64(window),
+                    &assignment,
+                    partitions,
+                )
+            };
+            (
+                out.stats.total_events,
+                out.profile,
+                faults.reconvergence_count(),
+            )
+        })
+    };
+
+    let reference = fingerprint(1, 1);
+    assert!(reference.1.fault_events > 0, "faults must actually fire");
+    assert!(reference.2 > 0, "faults must trigger reconvergence");
+    for (threads, partitions) in [(1, 2), (2, 2), (4, 4), (4, 2)] {
+        assert_eq!(
+            reference,
+            fingerprint(threads, partitions),
+            "threads = {threads}, partitions = {partitions}"
+        );
     }
 }
 
