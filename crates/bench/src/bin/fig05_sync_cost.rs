@@ -5,7 +5,8 @@
 //! thread counts this host can actually run — a live measurement of one
 //! barrier round for comparison.
 
-use massf_engine::synccost::{measure_barrier_cost_us, SyncCostModel};
+use massf_bench::measure_barrier_cost_us;
+use massf_engine::synccost::SyncCostModel;
 
 fn main() {
     let model = SyncCostModel::teragrid();

@@ -16,6 +16,8 @@
 //! substitution #1); the figure *shapes* — who wins, by roughly what
 //! factor — are the reproduction target.
 
+#![forbid(unsafe_code)]
+
 use massf_core::prelude::*;
 use std::collections::HashMap;
 
@@ -361,6 +363,44 @@ pub fn print_improvements(rows: &[SuiteRow]) {
     }
 }
 
+/// Measure the *actual* cost of one barrier round across `n` OS threads
+/// on this machine, averaged over `rounds` barriers. Used by the Figure 5
+/// harness to print a measured series next to the model. (On a small
+/// host this measures thread-barrier cost, not Myrinet MPI cost; the
+/// model — `massf_engine::synccost::SyncCostModel` — is what feeds the
+/// evaluation.) Lives here rather than in the engine because it reads
+/// host wall-clock time, which deterministic-critical crates must not
+/// do (simlint D2).
+pub fn measure_barrier_cost_us(n: usize, rounds: usize) -> f64 {
+    use std::sync::Barrier;
+    use std::time::Instant;
+    if n <= 1 {
+        return 0.0;
+    }
+    let barrier = Barrier::new(n);
+    let elapsed_us = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..n - 1 {
+            let barrier = &barrier;
+            handles.push(scope.spawn(move || {
+                for _ in 0..rounds {
+                    barrier.wait();
+                }
+            }));
+        }
+        let start = Instant::now();
+        for _ in 0..rounds {
+            barrier.wait();
+        }
+        let e = start.elapsed().as_secs_f64() * 1e6;
+        for h in handles {
+            h.join().expect("barrier thread panicked");
+        }
+        e
+    });
+    elapsed_us / rounds as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,6 +475,13 @@ mod tests {
         .expect("harness flags valid");
         assert_eq!(opts.threads, Some(2));
         assert_eq!(rest, vec![s("--smoke"), s("--flaps"), s("12")]);
+    }
+
+    #[test]
+    fn measured_barrier_is_positive_for_two_threads() {
+        let us = measure_barrier_cost_us(2, 50);
+        assert!(us > 0.0);
+        assert_eq!(measure_barrier_cost_us(1, 50), 0.0);
     }
 
     #[test]

@@ -56,7 +56,8 @@ fn main() {
         .expect("some observer");
     println!(
         "\nfarthest observer AS {observer} selected path: {:?}",
-        sim.path_of(observer).unwrap()
+        sim.path_of(observer)
+            .expect("observer chosen among reachable ASes")
     );
     sim.withdraw();
     println!(

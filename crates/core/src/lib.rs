@@ -43,9 +43,11 @@
 //!     &ClusterModel::default(),
 //!     SimTime::from_secs(5),
 //! );
-//! assert!(out.metrics.achieved_mll_ms >= out.mapping.tmll_ms.unwrap());
+//! assert!(out.metrics.achieved_mll_ms >= out.mapping.tmll_ms.expect("HPROF sets a TMLL"));
 //! println!("parallel efficiency: {:.2}", out.metrics.parallel_efficiency);
 //! ```
+
+#![forbid(unsafe_code)]
 
 pub mod clustermodel;
 pub mod error;

@@ -31,6 +31,8 @@
 //! are identical under sequential and parallel execution (property-tested
 //! in this crate and in the integration suite).
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod model;
 pub mod par;

@@ -56,40 +56,9 @@ impl SyncCostModel {
     }
 }
 
-/// Measure the *actual* cost of one barrier round across `n` OS threads
-/// on this machine, averaged over `rounds` barriers. Used by the Figure 5
-/// harness to print a measured series next to the model. (On a small
-/// host this measures thread-barrier cost, not Myrinet MPI cost; the
-/// model is what feeds the evaluation.)
-pub fn measure_barrier_cost_us(n: usize, rounds: usize) -> f64 {
-    use std::sync::Barrier;
-    use std::time::Instant;
-    if n <= 1 {
-        return 0.0;
-    }
-    let barrier = Barrier::new(n);
-    let elapsed_us = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..n - 1 {
-            let barrier = &barrier;
-            handles.push(scope.spawn(move || {
-                for _ in 0..rounds {
-                    barrier.wait();
-                }
-            }));
-        }
-        let start = Instant::now();
-        for _ in 0..rounds {
-            barrier.wait();
-        }
-        let e = start.elapsed().as_secs_f64() * 1e6;
-        for h in handles {
-            h.join().expect("barrier thread panicked");
-        }
-        e
-    });
-    elapsed_us / rounds as f64
-}
+// The wall-clock *measurement* companion to this model
+// (`measure_barrier_cost_us`) lives in the bench crate: the engine is
+// deterministic-critical and must never read host time (simlint D2).
 
 #[cfg(test)]
 mod tests {
@@ -127,11 +96,5 @@ mod tests {
         let m = SyncCostModel::teragrid();
         let t = m.cost(90);
         assert!((t.as_ms_f64() * 1000.0 - m.cost_us(90)).abs() < 0.01);
-    }
-
-    #[test]
-    fn measured_barrier_is_positive_for_two_threads() {
-        let us = measure_barrier_cost_us(2, 50);
-        assert!(us > 0.0);
     }
 }

@@ -31,6 +31,8 @@
 //! `Arc<FaultState>`, drops packets that touch a dead link or node, and
 //! re-resolves TCP paths on retransmission timeout.
 
+#![forbid(unsafe_code)]
+
 pub mod script;
 pub mod state;
 

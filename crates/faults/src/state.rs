@@ -6,7 +6,7 @@ use massf_engine::SimTime;
 use massf_routing::{CostMetric, MultiAsResolver, OspfDomain, PathResolver};
 use massf_topology::mabrite::MultiAsNetwork;
 use massf_topology::{LinkId, MassfError, Network, NodeId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -95,10 +95,13 @@ impl FaultState {
         // Walk the timeline accumulating the dead sets per epoch.
         // Adjacencies are reference-counted: two parallel inter-AS links
         // both failing must not flip the adjacency back up when only one
-        // recovers.
-        let mut dead_links: HashSet<u32> = HashSet::new();
-        let mut dead_nodes: HashSet<u32> = HashSet::new();
-        let mut adj_down: HashMap<(u16, u16), i32> = HashMap::new();
+        // recovers. Ordered collections so the epoch snapshots below
+        // come out sorted without a post-hoc sort (hash-iteration would
+        // trip simlint's D1 even with the sort, and rightly: the sorted
+        // result hides that intermediate order was hasher-dependent).
+        let mut dead_links: BTreeSet<u32> = BTreeSet::new();
+        let mut dead_nodes: BTreeSet<u32> = BTreeSet::new();
+        let mut adj_down: BTreeMap<(u16, u16), i32> = BTreeMap::new();
         let mut link_transitions: HashMap<u32, Vec<(SimTime, bool)>> = HashMap::new();
         let mut node_transitions: HashMap<u32, Vec<(SimTime, bool)>> = HashMap::new();
         let mut epochs = vec![EpochState::default()];
@@ -140,7 +143,9 @@ impl FaultState {
                     }
                 }
             }
-            let mut snapshot = EpochState {
+            // BTree iteration is already ascending: the EpochState
+            // fields' "sorted" contract holds by construction.
+            epochs.push(EpochState {
                 version: epochs.len() as u32,
                 dead_links: dead_links.iter().copied().collect(),
                 dead_nodes: dead_nodes.iter().copied().collect(),
@@ -149,11 +154,7 @@ impl FaultState {
                     .filter(|&(_, &c)| c > 0)
                     .map(|(&k, _)| k)
                     .collect(),
-            };
-            snapshot.dead_links.sort_unstable();
-            snapshot.dead_nodes.sort_unstable();
-            snapshot.dead_adjacencies.sort_unstable();
-            epochs.push(snapshot);
+            });
         }
 
         let resolvers: Vec<OnceLock<Arc<dyn PathResolver>>> =

@@ -21,6 +21,8 @@
 //! Per-node and per-link packet counters ([`profiling`]) provide the
 //! traffic profiles consumed by the paper's PROF/HPROF mappers.
 
+#![forbid(unsafe_code)]
+
 pub mod agent;
 pub mod builder;
 pub mod packet;

@@ -213,7 +213,7 @@ mod tests {
         let g = grid(16, 16);
         let levels = coarsen_to(&g, 20, &mut rng());
         assert!(!levels.is_empty());
-        let coarsest = &levels.last().unwrap().graph;
+        let coarsest = &levels.last().expect("levels is non-empty").graph;
         assert!(
             coarsest.vertex_count() <= 40,
             "got {}",

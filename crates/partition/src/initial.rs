@@ -186,7 +186,7 @@ mod tests {
         for (v, &p) in a.iter().enumerate() {
             w[p as usize] += g.vertex_weight(v);
         }
-        let max = *w.iter().max().unwrap() as f64;
+        let max = *w.iter().max().expect("parts exist") as f64;
         assert!(max / 25.0 <= 1.5, "weights {w:?}");
     }
 

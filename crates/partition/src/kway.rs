@@ -285,7 +285,7 @@ mod tests {
         let g = WeightedGraph::from_edges(vw, &edges);
         let p = metis_kway(&g, 2, &KwayConfig::default());
         let w = p.part_weights(&g);
-        let max = *w.iter().max().unwrap();
+        let max = *w.iter().max().expect("two parts requested");
         assert!(max <= 60, "part weights {w:?}");
     }
 

@@ -21,6 +21,8 @@
 //!
 //! All partitioners are deterministic given their seed.
 
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 pub mod coarsen;
 pub mod graph;

@@ -26,6 +26,8 @@
 //! count, which the determinism regression tests in `tests/` verify for
 //! the HPROF sweep and the routing table builds.
 
+#![forbid(unsafe_code)]
+
 use parking_lot::Mutex;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};

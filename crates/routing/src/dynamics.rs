@@ -11,10 +11,11 @@
 //! measured (the classic labovitz-style path hunting is visible in the
 //! withdrawal message counts).
 
+// simlint: allow-file(cast-lossy) -- AS numbers here are usize graph indices < AsGraph::n, which the topology layer caps at u16::MAX
 use crate::bgp::BgpRoute;
 use crate::policy::{export_allowed, local_preference};
 use massf_topology::{AsGraph, AsRelationship};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// One BGP speaker's state for a single destination prefix.
 #[derive(Debug, Clone, Default)]
@@ -54,7 +55,10 @@ pub struct BeaconSim<'a> {
     state: Vec<PrefixState>,
     /// Adj-RIB-Out: `sent[a][b]` = AS path last announced by `a` to `b`.
     /// Withdrawals are only sent to neighbors that hold an announcement.
-    sent: Vec<HashMap<usize, Vec<u16>>>,
+    /// BTreeMap, not HashMap: `withdraw()` iterates the keys to build
+    /// the initial withdrawal burst, and that order must not depend on
+    /// hasher state or the Update sequence differs run to run.
+    sent: Vec<BTreeMap<usize, Vec<u16>>>,
     announced: bool,
 }
 
@@ -66,7 +70,7 @@ impl<'a> BeaconSim<'a> {
             graph,
             origin,
             state: vec![PrefixState::default(); graph.n],
-            sent: vec![HashMap::new(); graph.n],
+            sent: vec![BTreeMap::new(); graph.n],
             announced: false,
         }
     }

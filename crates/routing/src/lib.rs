@@ -22,6 +22,8 @@
 //!   [`MultiAsResolver`] for BGP+OSPF networks with default routing in
 //!   stub ASes (step 6 of the procedure).
 
+#![forbid(unsafe_code)]
+
 pub mod bgp;
 pub mod dynamics;
 pub mod ospf;

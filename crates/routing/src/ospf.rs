@@ -8,6 +8,7 @@
 //! never materializes an O(N²) table. The cache is bounded (FIFO
 //! eviction) to keep 20,000-router domains within memory.
 
+// simlint: allow-file(cast-lossy) -- local router indices are positions in `members`, bounded by the domain size which is far below u32::MAX
 use massf_topology::{Network, NodeId};
 use parking_lot::Mutex;
 use std::collections::{BinaryHeap, HashMap, VecDeque};

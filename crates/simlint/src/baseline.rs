@@ -1,0 +1,197 @@
+//! Baseline files: freeze the current set of violations so the gate
+//! fails only on *new* ones.
+//!
+//! Format: one entry per line, `<rule-slug>\t<path>\t<snippet>`, where
+//! the snippet is the trimmed source line (so entries survive pure
+//! line-number churn). `#` comments and blank lines are ignored —
+//! comments are how surviving entries carry their justification.
+//! Entries are a multiset: two identical violations need two lines.
+
+use crate::config::Severity;
+use crate::rules::Violation;
+use std::collections::BTreeMap;
+
+/// The stable identity of a violation for baseline matching.
+fn key(v: &Violation) -> String {
+    format!("{}\t{}\t{}", v.rule.slug(), v.path, v.snippet)
+}
+
+/// A parsed baseline: entry → multiplicity.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    entries: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Parse baseline text. Unparseable lines are errors — a typo in a
+    /// baseline must not silently stop matching its violation.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim_end();
+            if line.trim().is_empty() || line.trim_start().starts_with('#') {
+                continue;
+            }
+            if line.split('\t').count() != 3 {
+                return Err(format!(
+                    "baseline line {}: expected `rule<TAB>path<TAB>snippet`, got `{line}`",
+                    i + 1
+                ));
+            }
+            *entries.entry(line.to_string()).or_insert(0) += 1;
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Serialize `violations` (deny and warn alike) as a fresh baseline.
+    pub fn render(violations: &[Violation]) -> String {
+        let mut lines: Vec<String> = violations.iter().map(key).collect();
+        lines.sort();
+        let mut out = String::from(
+            "# simlint baseline: known violations the gate tolerates.\n\
+             # One entry per line: <rule-slug><TAB><path><TAB><trimmed source line>.\n\
+             # Every surviving entry must carry a justification comment here or an\n\
+             # in-source `simlint: allow` reason. Regenerate: simlint --workspace\n\
+             # --baseline <this file> --update-baseline.\n",
+        );
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Number of entries (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Split `violations` into `(new, baselined)` and report baseline
+    /// entries no current violation consumed (stale — candidates for
+    /// deletion). Only deny-severity violations consume entries; warn
+    /// violations never fail the gate, so they pass through as matched.
+    pub fn compare(&self, violations: &[Violation]) -> Comparison {
+        let mut remaining = self.entries.clone();
+        let mut new = Vec::new();
+        let mut baselined = 0usize;
+        for v in violations {
+            if v.severity != Severity::Deny {
+                continue;
+            }
+            let k = key(v);
+            match remaining.get_mut(&k) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    baselined += 1;
+                }
+                _ => new.push(v.clone()),
+            }
+        }
+        let stale: Vec<String> = remaining
+            .into_iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(k, _)| k.replace('\t', "  "))
+            .collect();
+        Comparison {
+            new,
+            baselined,
+            stale,
+        }
+    }
+}
+
+/// Result of matching a scan against a baseline.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Deny violations not covered by the baseline: these fail the gate.
+    pub new: Vec<Violation>,
+    /// Deny violations the baseline absorbed.
+    pub baselined: usize,
+    /// Baseline entries with no matching violation left (fixed or moved;
+    /// reported so the file can be pruned, but never a failure).
+    pub stale: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn v(rule: Rule, path: &str, snippet: &str, sev: Severity) -> Violation {
+        Violation {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            snippet: snippet.to_string(),
+            message: String::new(),
+            severity: sev,
+        }
+    }
+
+    #[test]
+    fn round_trip_render_parse_compare() {
+        let vs = vec![
+            v(
+                Rule::UnwrapAudit,
+                "crates/a/src/lib.rs",
+                "x.unwrap()",
+                Severity::Deny,
+            ),
+            v(
+                Rule::CastLossy,
+                "crates/b/src/lib.rs",
+                "y as u32",
+                Severity::Deny,
+            ),
+        ];
+        let text = Baseline::render(&vs);
+        let b = Baseline::parse(&text).expect("rendered baseline parses");
+        assert_eq!(b.len(), 2);
+        let cmp = b.compare(&vs);
+        assert!(cmp.new.is_empty(), "{:?}", cmp.new);
+        assert_eq!(cmp.baselined, 2);
+        assert!(cmp.stale.is_empty());
+    }
+
+    #[test]
+    fn new_violation_is_caught_stale_is_reported() {
+        let old = vec![v(Rule::UnwrapAudit, "a.rs", "x.unwrap()", Severity::Deny)];
+        let b = Baseline::parse(&Baseline::render(&old)).expect("parses");
+        let now = vec![v(Rule::UnwrapAudit, "b.rs", "y.unwrap()", Severity::Deny)];
+        let cmp = b.compare(&now);
+        assert_eq!(cmp.new.len(), 1);
+        assert_eq!(cmp.new[0].path, "b.rs");
+        assert_eq!(cmp.stale.len(), 1);
+        assert!(cmp.stale[0].contains("a.rs"));
+    }
+
+    #[test]
+    fn multiplicity_is_respected() {
+        let two = vec![
+            v(Rule::UnwrapAudit, "a.rs", "x.unwrap()", Severity::Deny),
+            v(Rule::UnwrapAudit, "a.rs", "x.unwrap()", Severity::Deny),
+        ];
+        let b = Baseline::parse(&Baseline::render(&two[..1])).expect("parses");
+        let cmp = b.compare(&two);
+        assert_eq!(cmp.baselined, 1, "one entry absorbs one violation");
+        assert_eq!(cmp.new.len(), 1, "the second identical violation is new");
+    }
+
+    #[test]
+    fn warn_violations_never_fail() {
+        let b = Baseline::default();
+        let cmp = b.compare(&[v(Rule::CastLossy, "a.rs", "y as u32", Severity::Warn)]);
+        assert!(cmp.new.is_empty());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored_garbage_rejected() {
+        let b = Baseline::parse("# a comment\n\n# another\n").expect("comment-only file");
+        assert!(b.is_empty());
+        assert!(Baseline::parse("not a tab separated line\n").is_err());
+    }
+}

@@ -1,0 +1,450 @@
+//! A hand-rolled Rust lexer, just deep enough for lint rules: it
+//! separates identifiers, punctuation, and literals, swallows string
+//! contents (so `"HashMap"` in a string can never look like a type),
+//! and keeps every comment with its line number (so suppression
+//! directives can be matched to the code they annotate).
+//!
+//! It does **not** build an AST; the rule engine in [`crate::rules`]
+//! works directly on the token stream.
+
+/// What kind of lexeme a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `for`, `as`, …).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `{`, …). Multi-char
+    /// operators arrive as consecutive tokens (`::` = `:`, `:`).
+    Punct,
+    /// String literal (`"…"`, `r"…"`, `r#"…"#`, `b"…"`), quotes kept.
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (`42`, `0x1f`, `1e9`, `0.050_f64`).
+    Num,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment (line `//…` or block `/*…*/`) with the 1-based line it
+/// starts on. Text includes the comment markers.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Lex `src` into tokens and comments. Unterminated constructs are
+/// closed at end of input rather than reported — the compiler is the
+/// authority on well-formedness; the linter only needs to stay sane.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        toks: Vec::new(),
+        comments: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    toks: Vec<Tok>,
+    comments: Vec<Comment>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consume one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> (Vec<Tok>, Vec<Comment>) {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    let s = self.string_literal();
+                    self.push(TokKind::Str, s, line);
+                }
+                'r' | 'b' if self.starts_prefixed_literal() => {
+                    let (kind, s) = self.prefixed_literal();
+                    self.push(kind, s, line);
+                }
+                '\'' => self.quote(line),
+                _ if c.is_alphabetic() || c == '_' => {
+                    let s = self.ident();
+                    self.push(TokKind::Ident, s, line);
+                }
+                _ if c.is_ascii_digit() => {
+                    let s = self.number();
+                    self.push(TokKind::Num, s, line);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        (self.toks, self.comments)
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.comments.push(Comment { line, text });
+    }
+
+    /// Block comment; Rust block comments nest.
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.comments.push(Comment { line, text });
+    }
+
+    /// `"…"` with escape handling; returns the literal including quotes.
+    fn string_literal(&mut self) -> String {
+        let mut s = String::new();
+        s.push(self.bump().unwrap_or('"')); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                s.push(c);
+                self.bump();
+                if let Some(e) = self.bump() {
+                    s.push(e);
+                }
+            } else if c == '"' {
+                s.push(c);
+                self.bump();
+                break;
+            } else {
+                s.push(c);
+                self.bump();
+            }
+        }
+        s
+    }
+
+    /// Does the cursor sit on `r"`, `r#`, `b"`, `b'`, `br"`, `br#`?
+    /// (Otherwise a leading `r`/`b` is an ordinary identifier char.)
+    fn starts_prefixed_literal(&self) -> bool {
+        matches!(
+            (self.peek(0), self.peek(1), self.peek(2)),
+            (Some('r'), Some('"' | '#'), _)
+                | (Some('b'), Some('"' | '\''), _)
+                | (Some('b'), Some('r'), Some('"' | '#'))
+        )
+    }
+
+    /// Raw / byte string or byte char after an `r`/`b`/`br` prefix.
+    fn prefixed_literal(&mut self) -> (TokKind, String) {
+        let mut s = String::new();
+        let mut raw = false;
+        while let Some(c) = self.peek(0) {
+            if c == 'r' || c == 'b' {
+                raw |= c == 'r';
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match self.peek(0) {
+            Some('\'') => {
+                // b'x' — byte char, same shape as a char literal.
+                s.push(self.bump().unwrap_or('\''));
+                while let Some(c) = self.peek(0) {
+                    if c == '\\' {
+                        s.push(c);
+                        self.bump();
+                        if let Some(e) = self.bump() {
+                            s.push(e);
+                        }
+                    } else {
+                        s.push(c);
+                        self.bump();
+                        if c == '\'' {
+                            break;
+                        }
+                    }
+                }
+                (TokKind::Char, s)
+            }
+            Some('#') if raw => {
+                // r#"…"# with any number of hashes.
+                let mut hashes = 0usize;
+                while self.peek(0) == Some('#') {
+                    hashes += 1;
+                    s.push('#');
+                    self.bump();
+                }
+                if self.peek(0) == Some('"') {
+                    s.push('"');
+                    self.bump();
+                    while let Some(c) = self.bump() {
+                        s.push(c);
+                        if c == '"' && (0..hashes).all(|i| self.peek(i) == Some('#')) {
+                            for _ in 0..hashes {
+                                s.push('#');
+                                self.bump();
+                            }
+                            break;
+                        }
+                    }
+                    (TokKind::Str, s)
+                } else {
+                    // `r#ident` (raw identifier): lex the rest as ident.
+                    s.push_str(&self.ident());
+                    (TokKind::Ident, s)
+                }
+            }
+            Some('"') if raw => {
+                // r"…" — no escapes, closes at the first quote.
+                s.push('"');
+                self.bump();
+                while let Some(c) = self.bump() {
+                    s.push(c);
+                    if c == '"' {
+                        break;
+                    }
+                }
+                (TokKind::Str, s)
+            }
+            Some('"') => {
+                // b"…" — escapes behave like a normal string.
+                let rest = self.string_literal();
+                s.push_str(&rest);
+                (TokKind::Str, s)
+            }
+            _ => (TokKind::Ident, s), // bare `r` / `b` identifier
+        }
+    }
+
+    /// `'` starts either a char literal or a lifetime.
+    fn quote(&mut self, line: u32) {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_char = match next {
+            Some('\\') => true,
+            Some(c) if c.is_alphanumeric() || c == '_' => after == Some('\''),
+            Some(_) => true, // '(' etc: punctuation chars are char literals
+            None => true,
+        };
+        if is_char {
+            let mut s = String::new();
+            s.push(self.bump().unwrap_or('\'')); // opening '
+            while let Some(c) = self.peek(0) {
+                if c == '\\' {
+                    s.push(c);
+                    self.bump();
+                    if let Some(e) = self.bump() {
+                        s.push(e);
+                    }
+                } else {
+                    s.push(c);
+                    self.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                }
+            }
+            self.push(TokKind::Char, s, line);
+        } else {
+            let mut s = String::new();
+            s.push(self.bump().unwrap_or('\'')); // the '
+            s.push_str(&self.ident());
+            self.push(TokKind::Lifetime, s, line);
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Number: digits, then letters/digits/underscores (hex, suffixes,
+    /// exponents), plus one `.` only when a digit follows — so `0..n`
+    /// stays three tokens.
+    fn number(&mut self) -> String {
+        let mut s = String::new();
+        let mut saw_dot = false;
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else if c == '.' && !saw_dot && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                saw_dot = true;
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+}
+
+/// Is `lit` (a [`TokKind::Str`] lexeme, quotes and prefixes included)
+/// the empty string literal?
+pub fn str_literal_is_empty(lit: &str) -> bool {
+    let inner = lit
+        .trim_start_matches(['b', 'r'])
+        .trim_start_matches('#')
+        .trim_end_matches('#');
+    inner == "\"\""
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let (toks, _) = lex(r#"let x = "HashMap::iter()"; y"#);
+        assert!(idents(r#"let x = "HashMap::iter()"; y"#).contains(&"y".to_string()));
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(!idents(r#""HashMap""#).contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let (toks, _) = lex(r###"let s = r#"a "quoted" HashMap"#; done"###);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1,
+            "{toks:?}"
+        );
+        assert!(toks.iter().any(|t| t.text == "done"));
+        assert!(!toks.iter().any(|t| t.text == "HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let src = "let a = 1;\n// simlint: allow(x) -- reason\nlet b = 2; // trailing\n";
+        let (_, comments) = lex(src);
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0].line, 2);
+        assert!(comments[0].text.contains("simlint"));
+        assert_eq!(comments[1].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let (toks, comments) = lex("a /* outer /* inner */ still */ b");
+        assert_eq!(comments.len(), 1);
+        let names = toks
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert_eq!(names, "a b");
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let (toks, _) = lex("for i in 0..n { let f = 0.050; }");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "0.050"]);
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let (toks, _) = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn empty_string_detection() {
+        assert!(str_literal_is_empty("\"\""));
+        assert!(!str_literal_is_empty("\"x\""));
+        assert!(!str_literal_is_empty("\" \""));
+    }
+}

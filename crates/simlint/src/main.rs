@@ -1,0 +1,137 @@
+//! simlint CLI.
+//!
+//! ```text
+//! cargo run -p massf-simlint -- --workspace \
+//!     [--root DIR] [--config PATH] \
+//!     [--baseline simlint-baseline.txt] [--update-baseline]
+//! ```
+//!
+//! Exit codes: 0 clean (or all deny violations baselined), 1 violations
+//! (or new-vs-baseline), 2 usage / IO / config error.
+
+#![forbid(unsafe_code)]
+
+use massf_simlint::{report, Options};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: simlint --workspace [--root DIR] [--config PATH] \
+                     [--baseline PATH] [--update-baseline]";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut workspace = false;
+    let mut opts = Options::new(".");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory argument")?;
+                opts.root = PathBuf::from(v);
+            }
+            "--config" => {
+                let v = it.next().ok_or("--config needs a path argument")?;
+                opts.config_path = PathBuf::from(v);
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a path argument")?;
+                opts.baseline_path = Some(PathBuf::from(v));
+            }
+            "--update-baseline" => opts.update_baseline = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if !workspace {
+        return Err(format!("`--workspace` is required\n{USAGE}"));
+    }
+    if opts.update_baseline && opts.baseline_path.is_none() {
+        return Err("`--update-baseline` requires `--baseline PATH`".to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match massf_simlint::run(&opts) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("simlint: error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if outcome.baseline_written {
+        println!(
+            "simlint: baseline updated with {} violation(s) across {} file(s)",
+            outcome.violations.len(),
+            outcome.files
+        );
+        return ExitCode::SUCCESS;
+    }
+    // With a baseline, print only the violations that actually gate
+    // (new ones); a bare scan prints everything.
+    match &outcome.comparison {
+        Some(cmp) => print!("{}", report::render_violations(&cmp.new)),
+        None => print!("{}", report::render_violations(&outcome.violations)),
+    }
+    if let Some(cmp) = &outcome.comparison {
+        for s in &cmp.stale {
+            eprintln!("simlint: stale baseline entry (fix landed — prune it): {s}");
+        }
+    }
+    println!(
+        "{}",
+        report::render_summary(
+            outcome.files,
+            &outcome.violations,
+            outcome.comparison.as_ref()
+        )
+    );
+    ExitCode::from(u8::try_from(outcome.exit_code()).unwrap_or(2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let opts = parse_args(&argv(&[
+            "--workspace",
+            "--root",
+            "/w",
+            "--config",
+            "custom.toml",
+            "--baseline",
+            "b.txt",
+            "--update-baseline",
+        ]))
+        .expect("valid args");
+        assert_eq!(opts.root, PathBuf::from("/w"));
+        assert_eq!(opts.config_path, PathBuf::from("custom.toml"));
+        assert_eq!(opts.baseline_path, Some(PathBuf::from("b.txt")));
+        assert!(opts.update_baseline);
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        assert!(parse_args(&argv(&[])).is_err(), "--workspace required");
+        assert!(parse_args(&argv(&["--workspace", "--bogus"])).is_err());
+        assert!(parse_args(&argv(&["--workspace", "--root"])).is_err());
+        assert!(
+            parse_args(&argv(&["--workspace", "--update-baseline"])).is_err(),
+            "--update-baseline without --baseline"
+        );
+    }
+}

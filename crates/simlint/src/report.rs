@@ -1,0 +1,97 @@
+//! Human-readable reporting. Output is fully deterministic (sorted by
+//! path, then line, then rule) so simlint's own output can be diffed.
+
+use crate::baseline::Comparison;
+use crate::rules::Violation;
+use std::fmt::Write;
+
+/// Render `violations` in compiler style:
+///
+/// ```text
+/// crates/engine/src/lib.rs:42: deny hash-iteration (D1): `m.iter()` iterates …
+///     for (k, v) in m.iter() {
+///     = note: iteration order of HashMap/HashSet varies across runs; …
+/// ```
+pub fn render_violations(violations: &[Violation]) -> String {
+    let mut sorted: Vec<&Violation> = violations.iter().collect();
+    sorted.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+    let mut out = String::new();
+    for v in sorted {
+        let _ = writeln!(
+            out,
+            "{}:{}: {} {} ({}): {}",
+            v.path,
+            v.line,
+            v.severity.label(),
+            v.rule.slug(),
+            v.rule.code(),
+            v.message
+        );
+        if !v.snippet.is_empty() {
+            let _ = writeln!(out, "    {}", v.snippet);
+        }
+        let _ = writeln!(out, "    = note: {}", v.rule.hint());
+    }
+    out
+}
+
+/// One-line scan summary.
+pub fn render_summary(files: usize, violations: &[Violation], cmp: Option<&Comparison>) -> String {
+    match cmp {
+        Some(c) => format!(
+            "simlint: {} file(s), {} violation(s): {} new, {} baselined{}",
+            files,
+            violations.len(),
+            c.new.len(),
+            c.baselined,
+            if c.stale.is_empty() {
+                String::new()
+            } else {
+                format!(", {} stale baseline entr(ies) — prune them", c.stale.len())
+            }
+        ),
+        None => format!(
+            "simlint: {} file(s), {} violation(s)",
+            files,
+            violations.len()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Severity;
+    use crate::rules::Rule;
+
+    #[test]
+    fn rendering_is_sorted_and_complete() {
+        let vs = vec![
+            Violation {
+                rule: Rule::WallClock,
+                path: "crates/b.rs".into(),
+                line: 9,
+                snippet: "let t = Instant::now();".into(),
+                message: "`Instant::now()` wall-clock read".into(),
+                severity: Severity::Deny,
+            },
+            Violation {
+                rule: Rule::HashIteration,
+                path: "crates/a.rs".into(),
+                line: 3,
+                snippet: "for k in m.keys() {".into(),
+                message: "`m.keys()` iterates an unordered collection".into(),
+                severity: Severity::Deny,
+            },
+        ];
+        let text = render_violations(&vs);
+        let a = text.find("crates/a.rs:3").expect("a.rs reported");
+        let b = text.find("crates/b.rs:9").expect("b.rs reported");
+        assert!(a < b, "sorted by path");
+        assert!(text.contains("deny hash-iteration (D1)"));
+        assert!(text.contains("= note:"));
+        assert!(render_summary(2, &vs, None).contains("2 violation(s)"));
+    }
+}

@@ -1,0 +1,885 @@
+//! The rule engine: determinism rules D1–D3 and safety rules S1–S2,
+//! applied to one lexed source file at a time.
+//!
+//! | code | slug               | what it catches                                  |
+//! |------|--------------------|--------------------------------------------------|
+//! | D1   | `hash-iteration`   | iterating `HashMap`/`HashSet` state (lookups OK) |
+//! | D2   | `wall-clock`       | `Instant::now` / `SystemTime` reads              |
+//! | D3   | `entropy-rng`      | entropy-seeded RNGs (`from_entropy`, …)          |
+//! | S1   | `unwrap-audit`     | `.unwrap()`, `.expect("")`, `panic!`             |
+//! | S2   | `cast-lossy`       | narrowing `as` casts in hot-path crates          |
+//! |      | `malformed-suppression` | broken `simlint: allow(..)` directives      |
+//!
+//! Detection is token-pattern based (no type inference), so D1 works
+//! from *declarations*: any identifier declared in the file with a
+//! `HashMap`/`HashSet` type (or initialized from one) is tracked, and
+//! iterator-producing calls on it — `.iter()`, `.keys()`, `.values()`,
+//! `.drain()`, `.retain()`, `for _ in &x` — are flagged. `#[cfg(test)]`
+//! modules and `#[test]` functions are exempt: test code never runs
+//! inside the simulation, and timing/ordering quirks there cannot break
+//! bit-identical parallel runs.
+//!
+//! Suppression: `// simlint: allow(<slug>[, <slug>…]) -- <reason>` on
+//! the violating line or the line directly above it;
+//! `// simlint: allow-file(<slug>) -- <reason>` anywhere in the file
+//! for file-wide exemptions. The `-- <reason>` part is mandatory — an
+//! allow without a written justification is itself a violation.
+
+use crate::config::{Config, Severity};
+use crate::lexer::{lex, str_literal_is_empty, Comment, Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The lint rules. Codes D1–D3 guard determinism, S1–S2 guard safety.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    HashIteration,
+    WallClock,
+    EntropyRng,
+    UnwrapAudit,
+    CastLossy,
+    MalformedSuppression,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 6] = [
+        Rule::HashIteration,
+        Rule::WallClock,
+        Rule::EntropyRng,
+        Rule::UnwrapAudit,
+        Rule::CastLossy,
+        Rule::MalformedSuppression,
+    ];
+
+    /// Short code used in reports (`D1` … `S2`).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::HashIteration => "D1",
+            Rule::WallClock => "D2",
+            Rule::EntropyRng => "D3",
+            Rule::UnwrapAudit => "S1",
+            Rule::CastLossy => "S2",
+            Rule::MalformedSuppression => "SUP",
+        }
+    }
+
+    /// Stable identifier used in config, suppressions, and baselines.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::HashIteration => "hash-iteration",
+            Rule::WallClock => "wall-clock",
+            Rule::EntropyRng => "entropy-rng",
+            Rule::UnwrapAudit => "unwrap-audit",
+            Rule::CastLossy => "cast-lossy",
+            Rule::MalformedSuppression => "malformed-suppression",
+        }
+    }
+
+    pub fn from_slug(slug: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.slug() == slug)
+    }
+
+    /// One-line rationale shown next to each finding.
+    pub fn hint(self) -> &'static str {
+        match self {
+            Rule::HashIteration => {
+                "iteration order of HashMap/HashSet varies across runs; iterate a \
+                 BTreeMap/BTreeSet or an explicitly sorted Vec instead (lookups are fine)"
+            }
+            Rule::WallClock => {
+                "wall-clock reads make runs irreproducible; use virtual SimTime, or move \
+                 the measurement into the bench crate"
+            }
+            Rule::EntropyRng => {
+                "entropy-seeded RNGs break replay; seed explicitly (ChaCha8Rng::seed_from_u64)"
+            }
+            Rule::UnwrapAudit => {
+                "use expect(\"why this cannot fail\") or propagate a MassfError instead"
+            }
+            Rule::CastLossy => {
+                "narrowing `as` cast silently truncates; justify with an allow comment or \
+                 use try_into with an expect"
+            }
+            Rule::MalformedSuppression => {
+                "write `simlint: allow(<rule>) -- <reason>` with a known rule and a reason"
+            }
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: Rule,
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The trimmed source line (baseline matching key).
+    pub snippet: String,
+    pub message: String,
+    pub severity: Severity,
+}
+
+/// Iterator-producing methods that make D1 fire when called on a
+/// hash-typed identifier.
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Unordered collection type names whose declarations D1 tracks.
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+
+/// Identifiers whose mere presence means an entropy-seeded RNG (D3).
+const ENTROPY_IDENTS: [&str; 4] = ["from_entropy", "thread_rng", "OsRng", "getrandom"];
+
+/// Narrowing cast targets flagged by S2 (on 64-bit hosts the working
+/// types are u64/usize/f64; these targets all lose range or precision).
+const NARROW_TYPES: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// Scan one file's source. `path` is the workspace-relative path used
+/// in reports; `krate` the crate name used for rule scoping.
+pub fn scan_source(path: &str, krate: &str, src: &str, cfg: &Config) -> Vec<Violation> {
+    let (toks, comments) = lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let snippet = |line: u32| -> String {
+        lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().replace('\t', " "))
+            .unwrap_or_default()
+    };
+
+    let in_test = test_regions(&toks);
+    let sup = parse_suppressions(&comments);
+    let hash_idents = collect_hash_idents(&toks);
+
+    let mut out: Vec<Violation> = Vec::new();
+    let mut push = |rule: Rule, line: u32, message: String| {
+        if !cfg.applies(rule, krate) {
+            return;
+        }
+        if rule != Rule::MalformedSuppression && sup.allows(rule, line) {
+            return;
+        }
+        out.push(Violation {
+            rule,
+            path: path.to_string(),
+            line,
+            snippet: snippet(line),
+            message,
+            severity: cfg.rule(rule).severity,
+        });
+    };
+
+    for (line, why) in &sup.malformed {
+        push(Rule::MalformedSuppression, *line, why.clone());
+    }
+
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        let ident = |j: usize| -> Option<&str> {
+            toks.get(j)
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.as_str())
+        };
+        let punct = |j: usize, c: char| toks.get(j).is_some_and(|t| t.text == c.to_string());
+
+        // D1: `<hash>.iter()` and friends.
+        if t.kind == TokKind::Ident && hash_idents.contains(t.text.as_str()) && punct(i + 1, '.') {
+            if let Some(m) = ident(i + 2) {
+                if ITER_METHODS.contains(&m) {
+                    push(
+                        Rule::HashIteration,
+                        toks[i + 2].line,
+                        format!("`{}.{m}()` iterates an unordered collection", t.text),
+                    );
+                }
+            }
+        }
+        // D1: `<hash>[idx].iter()` — per-element maps (`Vec<HashMap<…>>`)
+        // are indexed before the call; walk over the `[…]` to the method.
+        if t.kind == TokKind::Ident && hash_idents.contains(t.text.as_str()) && punct(i + 1, '[') {
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            while let Some(b) = toks.get(j) {
+                match b.text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if j - i > 24 {
+                    break; // pathological index expression; give up
+                }
+                j += 1;
+            }
+            if depth == 0 && punct(j + 1, '.') {
+                if let Some(m) = ident(j + 2) {
+                    if ITER_METHODS.contains(&m) {
+                        push(
+                            Rule::HashIteration,
+                            toks[j + 2].line,
+                            format!("`{}[…].{m}()` iterates an unordered collection", t.text),
+                        );
+                    }
+                }
+            }
+        }
+        // D1: `for pat in [&[mut]] <hash> {`.
+        if t.kind == TokKind::Ident && t.text == "for" {
+            if let Some((name, line)) = for_loop_over_ident(&toks, i) {
+                if hash_idents.contains(name.as_str()) {
+                    push(
+                        Rule::HashIteration,
+                        line,
+                        format!("`for … in {name}` iterates an unordered collection"),
+                    );
+                }
+            }
+        }
+        // D2: Instant::now, SystemTime, UNIX_EPOCH.
+        if t.kind == TokKind::Ident {
+            if t.text == "Instant"
+                && punct(i + 1, ':')
+                && punct(i + 2, ':')
+                && ident(i + 3) == Some("now")
+            {
+                push(
+                    Rule::WallClock,
+                    t.line,
+                    "`Instant::now()` wall-clock read".to_string(),
+                );
+            }
+            if t.text == "SystemTime" || t.text == "UNIX_EPOCH" {
+                push(
+                    Rule::WallClock,
+                    t.line,
+                    format!("`{}` wall-clock read", t.text),
+                );
+            }
+        }
+        // D3: entropy-seeded RNG.
+        if t.kind == TokKind::Ident && ENTROPY_IDENTS.contains(&t.text.as_str()) {
+            push(
+                Rule::EntropyRng,
+                t.line,
+                format!("`{}` draws seed material from OS entropy", t.text),
+            );
+        }
+        // S1: `.unwrap()`, `.expect("")`, `panic!`.
+        if t.text == "." && toks.get(i).is_some_and(|t| t.kind == TokKind::Punct) {
+            if ident(i + 1) == Some("unwrap") && punct(i + 2, '(') && punct(i + 3, ')') {
+                push(
+                    Rule::UnwrapAudit,
+                    toks[i + 1].line,
+                    "`.unwrap()` panics without a message".to_string(),
+                );
+            }
+            if ident(i + 1) == Some("expect")
+                && punct(i + 2, '(')
+                && toks
+                    .get(i + 3)
+                    .is_some_and(|t| t.kind == TokKind::Str && str_literal_is_empty(&t.text))
+            {
+                push(
+                    Rule::UnwrapAudit,
+                    toks[i + 1].line,
+                    "`.expect(\"\")` carries no justification".to_string(),
+                );
+            }
+        }
+        if t.kind == TokKind::Ident && t.text == "panic" && punct(i + 1, '!') {
+            push(
+                Rule::UnwrapAudit,
+                t.line,
+                "`panic!` in non-test code".to_string(),
+            );
+        }
+        // S2: narrowing `as` cast.
+        if t.kind == TokKind::Ident && t.text == "as" {
+            if let Some(target) = ident(i + 1) {
+                if NARROW_TYPES.contains(&target) {
+                    push(
+                        Rule::CastLossy,
+                        t.line,
+                        format!("narrowing cast `as {target}`"),
+                    );
+                }
+            }
+        }
+    }
+
+    out.retain(|v| v.severity != Severity::Off);
+    out.sort_by(|a, b| (a.line, a.rule, &a.message).cmp(&(b.line, b.rule, &b.message)));
+    out.dedup();
+    out
+}
+
+/// For a `for` keyword at token `i`, return the loop source if it is a
+/// bare identifier (optionally `&`/`&mut`-prefixed): the tokens between
+/// `in` and the loop body `{`.
+fn for_loop_over_ident(toks: &[Tok], i: usize) -> Option<(String, u32)> {
+    // Find `in` before the body opens; the pattern cannot contain `in`.
+    let mut j = i + 1;
+    let mut guard = 0;
+    while j < toks.len() && !(toks[j].kind == TokKind::Ident && toks[j].text == "in") {
+        if toks[j].text == "{" || toks[j].text == ";" {
+            return None; // not a for-loop shape we understand
+        }
+        j += 1;
+        guard += 1;
+        if guard > 64 {
+            return None;
+        }
+    }
+    // Collect expression tokens until the body `{`.
+    let mut expr: Vec<&Tok> = Vec::new();
+    let mut k = j + 1;
+    while k < toks.len() && toks[k].text != "{" {
+        expr.push(&toks[k]);
+        k += 1;
+        if expr.len() > 8 {
+            return None; // complex expression: handled by method rules
+        }
+    }
+    // Accept `x` and dotted paths `a.b.x`, with optional `&`/`&mut`:
+    // the *last* segment names the collection being iterated.
+    let names: Vec<&&Tok> = expr
+        .iter()
+        .filter(|t| !(t.text == "&" || t.text == "mut"))
+        .collect();
+    let mut expect_ident = true;
+    for t in &names {
+        let ok = if expect_ident {
+            t.kind == TokKind::Ident
+        } else {
+            t.text == "."
+        };
+        if !ok {
+            return None;
+        }
+        expect_ident = !expect_ident;
+    }
+    match names.last() {
+        Some(last) if !expect_ident => Some((last.text.clone(), expr[0].line)),
+        _ => None,
+    }
+}
+
+/// Mark tokens inside `#[cfg(test)]` items and `#[test]` functions.
+fn test_regions(toks: &[Tok]) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "#" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("[") {
+            // Collect the attribute tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut attr: Vec<&str> = Vec::new();
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    t => attr.push(t),
+                }
+                j += 1;
+            }
+            let is_test_attr = matches!(attr.as_slice(), ["test"])
+                || (attr.first() == Some(&"cfg")
+                    && attr.contains(&"test")
+                    && !attr.contains(&"not"));
+            if is_test_attr {
+                // Skip further attributes, then mark to the end of the
+                // annotated item (its brace-balanced body, or `;`).
+                let mut k = j;
+                while k < toks.len()
+                    && toks[k].text == "#"
+                    && toks.get(k + 1).map(|t| t.text.as_str()) == Some("[")
+                {
+                    let mut d = 0usize;
+                    loop {
+                        match toks.get(k).map(|t| t.text.as_str()) {
+                            Some("[") => d += 1,
+                            Some("]") => {
+                                d -= 1;
+                                if d == 0 {
+                                    k += 1;
+                                    break;
+                                }
+                            }
+                            None => break,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                let body_start = k;
+                let mut brace = 0usize;
+                let mut opened = false;
+                while k < toks.len() {
+                    match toks[k].text.as_str() {
+                        "{" => {
+                            brace += 1;
+                            opened = true;
+                        }
+                        "}" => {
+                            brace = brace.saturating_sub(1);
+                        }
+                        ";" if !opened => break, // e.g. `#[cfg(test)] use …;`
+                        _ => {}
+                    }
+                    k += 1;
+                    if opened && brace == 0 {
+                        break;
+                    }
+                }
+                for flag in in_test.iter_mut().take(k).skip(body_start.min(i)) {
+                    *flag = true;
+                }
+                // Also cover the attribute itself.
+                for flag in in_test.iter_mut().take(j).skip(i) {
+                    *flag = true;
+                }
+                i = k;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Identifiers declared (or initialized) with a hash-collection type
+/// anywhere in the file: `name: …HashMap<…>…`, `name = HashMap::…`.
+fn collect_hash_idents(toks: &[Tok]) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = &toks[i].text;
+        // `name = [path::]HashMap::new()` / `HashSet::with_capacity(…)`:
+        // walk the path after `=` while it stays `ident::ident::…`.
+        if toks.get(i + 1).is_some_and(|t| t.text == "=") {
+            let mut j = i + 2;
+            while j < toks.len() && j - i < 12 {
+                let t = &toks[j];
+                if t.kind == TokKind::Ident && HASH_TYPES.contains(&t.text.as_str()) {
+                    set.insert(name.clone());
+                    break;
+                }
+                if !(t.kind == TokKind::Ident || t.text == ":") {
+                    break;
+                }
+                j += 1;
+            }
+        }
+        // `name: <type containing HashMap/HashSet>` — walk the type
+        // expression at angle-bracket depth, stopping at a top-level
+        // terminator. Handles struct fields, fn params, and typed lets.
+        if toks.get(i + 1).is_some_and(|t| t.text == ":")
+            && toks.get(i + 2).is_none_or(|t| t.text != ":")
+            && (i == 0 || (toks[i - 1].text != ":" && toks[i - 1].text != "."))
+        {
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            let mut prev = "";
+            while let Some(t) = toks.get(j) {
+                match t.text.as_str() {
+                    "<" => depth += 1,
+                    ">" if prev == "-" || prev == "=" => {} // `->`, `=>`
+                    ">" => depth -= 1,
+                    "," | ";" | ")" | "}" | "=" | "{" if depth <= 0 => break,
+                    _ => {}
+                }
+                if t.kind == TokKind::Ident && HASH_TYPES.contains(&t.text.as_str()) {
+                    set.insert(name.clone());
+                    break;
+                }
+                if j - i > 48 {
+                    break; // give up on pathological types
+                }
+                prev = t.text.as_str();
+                j += 1;
+            }
+        }
+    }
+    set
+}
+
+/// Parsed suppression directives of one file.
+struct Suppressions {
+    /// Line → rules allowed on that line and the next.
+    site: BTreeMap<u32, Vec<Rule>>,
+    /// File-wide allows.
+    file: Vec<Rule>,
+    /// Broken directives: `(line, explanation)`.
+    malformed: Vec<(u32, String)>,
+}
+
+impl Suppressions {
+    fn allows(&self, rule: Rule, line: u32) -> bool {
+        if self.file.contains(&rule) {
+            return true;
+        }
+        let at = |l: u32| self.site.get(&l).is_some_and(|rs| rs.contains(&rule));
+        at(line) || (line > 1 && at(line - 1))
+    }
+}
+
+fn parse_suppressions(comments: &[Comment]) -> Suppressions {
+    let mut sup = Suppressions {
+        site: BTreeMap::new(),
+        file: Vec::new(),
+        malformed: Vec::new(),
+    };
+    for c in comments {
+        // A directive must be the whole comment: the text after the
+        // comment markers starts with `simlint:`. Prose that merely
+        // *mentions* the syntax (docs, tables) is not a directive.
+        let body = c.text.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(directive) = body.strip_prefix("simlint:").map(str::trim) else {
+            continue;
+        };
+        let (file_wide, rest) = if let Some(r) = directive.strip_prefix("allow-file") {
+            (true, r)
+        } else if let Some(r) = directive.strip_prefix("allow") {
+            (false, r)
+        } else {
+            sup.malformed.push((
+                c.line,
+                format!("unknown simlint directive `{directive}` (expected allow/allow-file)"),
+            ));
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(inner) = rest.strip_prefix('(').and_then(|r| r.split_once(')')) else {
+            sup.malformed
+                .push((c.line, "allow directive missing `(<rule>)`".to_string()));
+            continue;
+        };
+        let (rule_list, tail) = inner;
+        let reason = tail.trim_start();
+        let reason = reason.strip_prefix("--").map(str::trim);
+        if reason.is_none_or(str::is_empty) {
+            sup.malformed.push((
+                c.line,
+                "allow directive missing `-- <reason>` justification".to_string(),
+            ));
+            continue;
+        }
+        let mut rules = Vec::new();
+        let mut bad = false;
+        for slug in rule_list.split(',') {
+            let slug = slug.trim();
+            match Rule::from_slug(slug) {
+                Some(r) => rules.push(r),
+                None => {
+                    sup.malformed
+                        .push((c.line, format!("allow names unknown rule `{slug}`")));
+                    bad = true;
+                }
+            }
+        }
+        if bad || rules.is_empty() {
+            continue;
+        }
+        if file_wide {
+            sup.file.extend(rules);
+        } else {
+            sup.site.entry(c.line).or_default().extend(rules);
+        }
+    }
+    sup
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(krate: &str, src: &str) -> Vec<Violation> {
+        scan_source("test.rs", krate, src, &Config::default())
+    }
+
+    fn rules_found(krate: &str, src: &str) -> Vec<Rule> {
+        scan(krate, src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn d1_flags_iteration_not_lookup() {
+        let src = r#"
+            use std::collections::HashMap;
+            struct S { m: HashMap<u32, u32> }
+            fn f(s: &mut S) {
+                s.m.insert(1, 2);
+                let _ = s.m.get(&1);
+                for (k, v) in s.m.iter() { let _ = (k, v); }
+            }
+        "#;
+        let v = scan("engine", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::HashIteration);
+        assert_eq!(v[0].line, 7);
+    }
+
+    #[test]
+    fn d1_flags_for_loop_over_hash() {
+        let src = r#"
+            fn f() {
+                let mut seen = std::collections::HashSet::new();
+                seen.insert(1u32);
+                for x in &seen { let _ = x; }
+            }
+        "#;
+        // `seen = … HashSet ::` initialization form.
+        assert_eq!(rules_found("routing", src), vec![Rule::HashIteration]);
+    }
+
+    #[test]
+    fn d1_ignores_out_of_scope_crates_and_vecs() {
+        let src = r#"
+            struct S { m: HashMap<u32, u32>, v: Vec<u32> }
+            fn f(s: &S) {
+                for x in s.m.keys() { let _ = x; }
+                for y in &s.v { let _ = y; }
+            }
+        "#;
+        assert_eq!(rules_found("workloads", src), vec![]);
+        // In scope, only the map iteration fires, not the Vec.
+        assert_eq!(rules_found("netsim", src), vec![Rule::HashIteration]);
+    }
+
+    #[test]
+    fn d1_name_typed_as_vec_elsewhere_not_confused() {
+        // `map` here is a Vec; same name as routing's HashMap fields in
+        // other files, but tracking is per file.
+        let src = "struct L { map: Vec<u32> } fn f(l: &L) { for x in l.map.iter() { let _ = x; } }";
+        assert_eq!(rules_found("partition", src), vec![]);
+    }
+
+    #[test]
+    fn d2_wall_clock() {
+        let src = "fn f() -> f64 { let t = Instant::now(); t.elapsed().as_secs_f64() }";
+        assert_eq!(rules_found("engine", src), vec![Rule::WallClock]);
+        assert_eq!(rules_found("bench", src), vec![], "bench is exempt");
+        assert_eq!(
+            rules_found("core", "fn f() { let _ = SystemTime::now(); }"),
+            vec![Rule::WallClock]
+        );
+    }
+
+    #[test]
+    fn d3_entropy() {
+        let src = "fn f() { let mut rng = ChaCha8Rng::from_entropy(); rng.gen::<u64>(); }";
+        assert_eq!(rules_found("workloads", src), vec![Rule::EntropyRng]);
+        let seeded = "fn f() { let mut rng = ChaCha8Rng::seed_from_u64(7); rng.gen::<u64>(); }";
+        assert_eq!(rules_found("workloads", seeded), vec![]);
+    }
+
+    #[test]
+    fn s1_unwrap_expect_panic() {
+        assert_eq!(
+            rules_found("topology", "fn f(o: Option<u32>) -> u32 { o.unwrap() }"),
+            vec![Rule::UnwrapAudit]
+        );
+        assert_eq!(
+            rules_found("topology", "fn f(o: Option<u32>) -> u32 { o.expect(\"\") }"),
+            vec![Rule::UnwrapAudit]
+        );
+        assert_eq!(
+            rules_found("topology", "fn f() { panic!(\"boom\"); }"),
+            vec![Rule::UnwrapAudit]
+        );
+        // Documented expect and unwrap_or variants are fine.
+        assert_eq!(
+            rules_found(
+                "topology",
+                "fn f(o: Option<u32>) -> u32 { o.expect(\"present by construction\") }"
+            ),
+            vec![]
+        );
+        assert_eq!(
+            rules_found("topology", "fn f(o: Option<u32>) -> u32 { o.unwrap_or(0) }"),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn s2_narrowing_casts_scoped_to_hot_crates() {
+        let src = "fn f(x: usize) -> u32 { x as u32 }";
+        assert_eq!(rules_found("engine", src), vec![Rule::CastLossy]);
+        assert_eq!(rules_found("routing", src), vec![Rule::CastLossy]);
+        assert_eq!(rules_found("topology", src), vec![]);
+        // Widening casts are fine.
+        assert_eq!(
+            rules_found("engine", "fn f(x: u32) -> u64 { x as u64 }"),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = r#"
+            fn prod(o: Option<u32>) -> u32 { o.expect("fine") }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() {
+                    let x: Option<u32> = Some(1);
+                    assert_eq!(x.unwrap(), 1);
+                    let t = Instant::now();
+                    let _ = t;
+                }
+            }
+        "#;
+        assert_eq!(rules_found("engine", src), vec![]);
+    }
+
+    #[test]
+    fn test_fn_attribute_exempts_single_fn_only() {
+        let src = r#"
+            #[test]
+            fn t() { let x: Option<u32> = Some(1); let _ = x.unwrap(); }
+            fn prod(o: Option<u32>) -> u32 { o.unwrap() }
+        "#;
+        let v = scan("engine", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn suppression_same_line_and_line_above() {
+        let above = r#"
+            fn f(o: Option<u32>) -> u32 {
+                // simlint: allow(unwrap-audit) -- demo justification
+                o.unwrap()
+            }
+        "#;
+        assert_eq!(rules_found("engine", above), vec![]);
+        let trailing = r#"
+            fn f(o: Option<u32>) -> u32 {
+                o.unwrap() // simlint: allow(unwrap-audit) -- demo justification
+            }
+        "#;
+        assert_eq!(rules_found("engine", trailing), vec![]);
+    }
+
+    #[test]
+    fn suppression_requires_reason_and_known_rule() {
+        let no_reason = r#"
+            fn f(o: Option<u32>) -> u32 {
+                // simlint: allow(unwrap-audit)
+                o.unwrap()
+            }
+        "#;
+        let found = rules_found("engine", no_reason);
+        assert!(found.contains(&Rule::MalformedSuppression), "{found:?}");
+        assert!(found.contains(&Rule::UnwrapAudit), "must not suppress");
+
+        let unknown = "// simlint: allow(no-such-rule) -- because\nfn f() {}";
+        assert_eq!(
+            rules_found("engine", unknown),
+            vec![Rule::MalformedSuppression]
+        );
+    }
+
+    #[test]
+    fn d1_flags_for_loop_over_field_path() {
+        let src = r#"
+            struct S { seen: std::collections::HashSet<u32> }
+            fn f(s: &S) -> u32 {
+                let mut n = 0;
+                for v in &s.seen {
+                    n += v;
+                }
+                n
+            }
+        "#;
+        let v = scan("engine", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::HashIteration);
+    }
+
+    #[test]
+    fn d1_flags_indexed_receiver_chain() {
+        // The per-node-map pattern: `Vec<HashMap<…>>` indexed, then
+        // iterated — the exact shape of the routing `sent` table.
+        let src = r#"
+            struct S { sent: Vec<std::collections::HashMap<usize, Vec<u16>>> }
+            impl S {
+                fn holders(&self, origin: usize) -> Vec<usize> {
+                    self.sent[origin].keys().copied().collect()
+                }
+                fn lookup(&self, origin: usize, b: usize) -> bool {
+                    self.sent[origin].contains_key(&b)
+                }
+            }
+        "#;
+        let v = scan("routing", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::HashIteration);
+        assert_eq!(v[0].line, 5, "keys() flagged, contains_key lookup not");
+    }
+
+    #[test]
+    fn prose_mentioning_the_syntax_is_not_a_directive() {
+        // Docs (including simlint's own) quote the suppression grammar
+        // mid-sentence; only a comment *starting* with `simlint:` is one.
+        let src = "//! Suppress via `// simlint: allow(<rule>) -- <reason>` comments.\n\
+                   // A table row | `simlint: allow(..)` | also mentions it.\n\
+                   fn f() {}\n";
+        assert_eq!(rules_found("engine", src), vec![]);
+    }
+
+    #[test]
+    fn file_wide_suppression() {
+        let src = r#"
+            // simlint: allow-file(cast-lossy) -- indices are u16 by construction
+            fn f(a: usize, b: usize) -> (u16, u16) { (a as u16, b as u16) }
+        "#;
+        assert_eq!(rules_found("routing", src), vec![]);
+    }
+
+    #[test]
+    fn suppression_does_not_leak_to_other_rules_or_lines() {
+        let src = r#"
+            fn f(o: Option<u32>, m: &std::collections::HashMap<u32, u32>) -> u32 {
+                // simlint: allow(unwrap-audit) -- only the unwrap
+                o.unwrap();
+                let s: Vec<_> = m.keys().collect();
+                s.len() as u32
+            }
+        "#;
+        // The HashMap parameter form: `m: &std::collections::HashMap<…>`.
+        let found = rules_found("engine", src);
+        assert_eq!(
+            found,
+            vec![Rule::HashIteration, Rule::CastLossy],
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn string_contents_never_fire() {
+        let src =
+            r#"fn f() -> &'static str { "HashMap::iter() Instant::now() panic! from_entropy" }"#;
+        assert_eq!(rules_found("engine", src), vec![]);
+    }
+}

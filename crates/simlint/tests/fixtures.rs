@@ -1,0 +1,87 @@
+//! One fixture file per rule: scan each with the default config and
+//! assert exactly the marked violations fire. The fixtures directory is
+//! excluded from workspace scans (simlint.toml) and is never compiled.
+
+use massf_simlint::{scan_source, Config, Rule};
+use std::path::Path;
+
+fn scan_fixture(name: &str, krate: &str) -> Vec<(Rule, u32)> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        // simlint: allow(unwrap-audit) -- test helper: abort with the fixture path on IO failure
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    scan_source(name, krate, &src, &Config::default())
+        .into_iter()
+        .map(|v| (v.rule, v.line))
+        .collect()
+}
+
+#[test]
+fn d1_hash_iteration_fixture() {
+    let found = scan_fixture("d1_hash_iter.rs", "engine");
+    assert_eq!(found.len(), 3, "{found:?}");
+    assert!(found.iter().all(|(r, _)| *r == Rule::HashIteration));
+    // keys() loop, for-loop over the set, indexed-receiver iter().
+    let lines: Vec<u32> = found.iter().map(|(_, l)| *l).collect();
+    assert_eq!(lines, vec![13, 17, 21], "{found:?}");
+}
+
+#[test]
+fn d1_does_not_apply_outside_deterministic_crates() {
+    let found = scan_fixture("d1_hash_iter.rs", "workloads");
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn d2_wall_clock_fixture() {
+    let found = scan_fixture("d2_wallclock.rs", "engine");
+    assert!(found.len() >= 3, "{found:?}");
+    assert!(found.iter().all(|(r, _)| *r == Rule::WallClock));
+    // The #[cfg(test)] module's Instant::now() is exempt.
+    assert!(found.iter().all(|(_, l)| *l < 12), "{found:?}");
+    // bench is allowed to read the clock.
+    assert!(scan_fixture("d2_wallclock.rs", "bench").is_empty());
+}
+
+#[test]
+fn d3_entropy_fixture() {
+    let found = scan_fixture("d3_entropy.rs", "engine");
+    assert_eq!(found.len(), 2, "{found:?}");
+    assert!(found.iter().all(|(r, _)| *r == Rule::EntropyRng));
+    assert!(scan_fixture("d3_entropy.rs", "bench").is_empty());
+}
+
+#[test]
+fn s1_unwrap_fixture() {
+    let found = scan_fixture("s1_unwrap.rs", "workloads");
+    assert_eq!(found.len(), 3, "{found:?}");
+    assert!(found.iter().all(|(r, _)| *r == Rule::UnwrapAudit));
+    let lines: Vec<u32> = found.iter().map(|(_, l)| *l).collect();
+    assert_eq!(lines, vec![5, 6, 8], "unwrap, empty expect, panic!");
+}
+
+#[test]
+fn s2_cast_fixture() {
+    let found = scan_fixture("s2_cast.rs", "engine");
+    assert_eq!(found.len(), 3, "{found:?}");
+    assert!(found.iter().all(|(r, _)| *r == Rule::CastLossy));
+    // Out of scope for crates not in the rule's include list.
+    assert!(scan_fixture("s2_cast.rs", "netsim").is_empty());
+}
+
+#[test]
+fn suppression_fixture() {
+    let found = scan_fixture("suppressed.rs", "engine");
+    // Everything suppressed except the final undocumented unwrap.
+    assert_eq!(found, vec![(Rule::UnwrapAudit, 19)], "{found:?}");
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    for krate in ["engine", "routing", "bench", "workloads"] {
+        let found = scan_fixture("clean.rs", krate);
+        assert!(found.is_empty(), "{krate}: {found:?}");
+    }
+}

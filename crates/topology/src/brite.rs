@@ -248,7 +248,7 @@ mod tests {
         });
         let degrees: Vec<usize> = net.router_ids().iter().map(|&r| net.degree(r)).collect();
         let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
-        let max = *degrees.iter().max().unwrap();
+        let max = *degrees.iter().max().expect("routers exist");
         assert!(
             (max as f64) > 4.0 * mean,
             "max degree {max} should dominate mean {mean:.2}"
@@ -274,7 +274,7 @@ mod tests {
     #[test]
     fn latency_spectrum_has_short_and_long_links() {
         let net = gen_tiny();
-        let min = net.min_link_latency_ms().unwrap();
+        let min = net.min_link_latency_ms().expect("links exist");
         let max = net
             .links
             .iter()

@@ -21,6 +21,8 @@
 //! whose interaction with synchronization cost motivates the paper's
 //! hierarchical partitioning (HPROF).
 
+#![forbid(unsafe_code)]
+
 pub mod ashier;
 pub mod brite;
 pub mod config;

@@ -342,7 +342,7 @@ mod tests {
         let mut builder = NetSimBuilder::new(net, resolver);
         builder.add_initial_events(app.initial_events());
         let out = builder.run_sequential(app, SimTime::from_secs(600));
-        out.apps.into_iter().next().unwrap()
+        out.apps.into_iter().next().expect("one app was registered")
     }
 
     fn hosts(n: usize) -> Vec<NodeId> {
@@ -411,7 +411,7 @@ mod tests {
         let compute = SimTime::from_ms(30);
         let app = run_spec(helical_chain(hosts(3), 2, 50_000, compute));
         // 6 tasks in a strict chain: makespan ≥ 6 × compute.
-        assert!(app.finished_at.unwrap() >= compute * 6);
+        assert!(app.finished_at.expect("chain finishes") >= compute * 6);
     }
 
     #[test]

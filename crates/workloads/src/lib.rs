@@ -22,6 +22,8 @@
 //! composed with [`compose::Pair`] and run concurrently, exactly like
 //! the paper's background + foreground mix.
 
+#![forbid(unsafe_code)]
+
 pub mod compose;
 pub mod gridnpb;
 pub mod http;

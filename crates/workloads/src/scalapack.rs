@@ -206,7 +206,8 @@ mod tests {
         let mut builder = NetSimBuilder::new(net, resolver);
         builder.add_initial_events(app.initial_events());
         let out = builder.run_sequential(app, SimTime::from_secs(600));
-        (out.apps.into_iter().next().unwrap(), out.stats.total_events)
+        let app = out.apps.into_iter().next().expect("one app was registered");
+        (app, out.stats.total_events)
     }
 
     #[test]
@@ -246,7 +247,9 @@ mod tests {
     fn makespan_grows_with_iterations() {
         let (a3, _) = run(3, 8, 4);
         let (a9, _) = run(9, 8, 4);
-        assert!(a9.finished_at.unwrap() > a3.finished_at.unwrap());
+        let t9 = a9.finished_at.expect("9-iteration run finishes");
+        let t3 = a3.finished_at.expect("3-iteration run finishes");
+        assert!(t9 > t3);
     }
 
     #[test]

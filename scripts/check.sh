@@ -1,23 +1,41 @@
 #!/usr/bin/env bash
-# Workspace gate: formatting, lints, and the full test suite.
+# Workspace gate: formatting, lints, static analysis, and the test suite.
 # Run from anywhere; operates on the repository containing this script.
+#
+#   scripts/check.sh          full gate (including the release-mode
+#                             fault_flap_study smoke run)
+#   scripts/check.sh --fast   skip the release-mode smoke run
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FAST=0
+for arg in "$@"; do
+    case "$arg" in
+        --fast) FAST=1 ;;
+        *)
+            echo "usage: $0 [--fast]" >&2
+            exit 2
+            ;;
+    esac
+done
 
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
-echo "== cargo clippy (deny warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
+echo "== cargo clippy (deny warnings + unwrap_used, whole workspace) =="
+cargo clippy --workspace --all-targets -- -D warnings -D clippy::unwrap_used
 
-echo "== cargo clippy (routing + faults: deny unwrap) =="
-cargo clippy -p massf-routing -p massf-faults --all-targets -- \
-    -D warnings -D clippy::unwrap_used
+echo "== simlint (determinism & safety static analysis) =="
+cargo run -q -p massf-simlint -- --workspace --baseline simlint-baseline.txt
 
 echo "== cargo test =="
 cargo test -q
 
-echo "== fault_flap_study --smoke =="
-cargo run --release -q -p massf-bench --bin fault_flap_study -- --smoke
+if [ "$FAST" -eq 0 ]; then
+    echo "== fault_flap_study --smoke =="
+    cargo run --release -q -p massf-bench --bin fault_flap_study -- --smoke
+else
+    echo "== fault_flap_study --smoke skipped (--fast) =="
+fi
 
 echo "All checks passed."

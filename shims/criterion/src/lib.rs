@@ -7,6 +7,8 @@
 //! timed iterations and prints min / mean / median wall-clock times.
 //! There is no statistical outlier analysis or HTML report.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -3,6 +3,8 @@
 //! rather than propagated, matching parking_lot's panic-transparent
 //! behavior).
 
+#![forbid(unsafe_code)]
+
 pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
 pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
 pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;

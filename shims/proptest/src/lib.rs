@@ -7,6 +7,8 @@
 //! `Debug`) and the case index, then panics. Cases are generated from a
 //! deterministic per-test seed, so failures reproduce across runs.
 
+#![forbid(unsafe_code)]
+
 /// Deterministic generator driving strategy sampling (SplitMix64).
 #[derive(Debug, Clone)]
 pub struct TestRng {

@@ -4,6 +4,8 @@
 //! deterministic (same seed ⇒ same sequence on every platform) but not
 //! bit-compatible with upstream `rand`.
 
+#![forbid(unsafe_code)]
+
 /// Low-level source of randomness.
 pub trait RngCore {
     /// Next 32 random bits.

@@ -3,6 +3,8 @@
 //! this workspace's `rand` shim, not upstream, so streams are
 //! internally deterministic but not upstream-bit-compatible.
 
+#![forbid(unsafe_code)]
+
 use rand::{RngCore, SeedableRng};
 
 const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];

@@ -4,6 +4,8 @@
 //! (there is no serialization backend in the build environment), so the
 //! traits are markers and the derives emit empty impls.
 
+#![forbid(unsafe_code)]
+
 /// Marker for serializable types.
 pub trait Serialize {}
 

@@ -3,6 +3,8 @@
 //! (no `syn`/`quote` available offline); supports plain structs and
 //! enums without generic parameters, which covers this workspace.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{TokenStream, TokenTree};
 
 /// Name of the item a `struct`/`enum` keyword introduces.

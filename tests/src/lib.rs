@@ -1,6 +1,8 @@
 //! Cross-crate integration tests for `massf-rs` live in `tests/`; this
 //! library only hosts shared helpers.
 
+#![forbid(unsafe_code)]
+
 use massf_core::prelude::*;
 
 /// A deterministic tiny single-AS scenario for integration tests.

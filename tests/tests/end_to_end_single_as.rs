@@ -112,7 +112,7 @@ fn profiled_weights_reflect_actual_traffic() {
     let mut counts = profile.node_packets.clone();
     counts.sort_unstable();
     let median = counts[counts.len() / 2];
-    let max = *counts.last().unwrap();
+    let max = *counts.last().expect("profile covers some nodes");
     assert!(max > 0);
     assert!(
         max >= median.max(1) * 5,
