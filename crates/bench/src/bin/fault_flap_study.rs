@@ -212,7 +212,7 @@ fn main() {
     };
     println!();
     println!("{:<22} {:>14} {:>14}", "metric", "clean", "faulted");
-    let rows: [(&str, u64, u64); 7] = [
+    let rows: [(&str, u64, u64); 10] = [
         (
             "total events",
             clean.stats.total_events,
@@ -244,10 +244,31 @@ fn main() {
             clean.profile.fault_events,
             faulted.profile.fault_events,
         ),
+        (
+            "route-cache hits",
+            clean.profile.route_cache.hits,
+            faulted.profile.route_cache.hits,
+        ),
+        (
+            "route-cache misses",
+            clean.profile.route_cache.misses,
+            faulted.profile.route_cache.misses,
+        ),
+        (
+            "route-cache evictions",
+            clean.profile.route_cache.evictions,
+            faulted.profile.route_cache.evictions,
+        ),
     ];
     for (name, c, f) in rows {
         println!("{name:<22} {c:>14} {f:>14}");
     }
+    println!(
+        "{:<22} {:>14.4} {:>14.4}",
+        "route-cache hit rate",
+        clean.profile.route_cache.hit_rate(),
+        faulted.profile.route_cache.hit_rate()
+    );
     println!(
         "{:<22} {:>14.4} {:>14.4}",
         "flow abort rate",
@@ -313,6 +334,13 @@ fn main() {
         assert!(
             faulted.profile.completed_flows > 0,
             "faulted run completed no flows"
+        );
+        // Hits are workload-dependent (the tiny smoke traffic rarely
+        // repeats a pair within one epoch); repeated-pair hit behavior
+        // is asserted by the route_resolution bench smoke instead.
+        assert!(
+            faulted.profile.route_cache.misses > 0,
+            "route cache was never consulted"
         );
         let n = net.node_count();
         let assignment: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();

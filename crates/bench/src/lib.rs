@@ -283,7 +283,9 @@ fn run_suite_once(
         // One shared profiling run, then all approaches concurrently
         // (order and results identical to the old sequential loop).
         let outputs = run_approaches(&scenario, approaches, &cfg, &model, duration);
+        let mut cache = massf_netsim::RouteCacheStats::default();
         for out in outputs {
+            cache.merge(&out.run_profile.route_cache);
             rows.push(SuiteRow {
                 workload,
                 approach: out.approach,
@@ -291,6 +293,14 @@ fn run_suite_once(
                 total_events: out.run_stats.total_events,
             });
         }
+        eprintln!(
+            "# route cache ({}): {} hits / {} misses / {} evictions ({:.1}% hit rate)",
+            workload.label(),
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.hit_rate() * 100.0
+        );
     }
     rows
 }

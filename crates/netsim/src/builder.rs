@@ -7,7 +7,7 @@
 use crate::agent::Agent;
 use crate::packet::NetEvent;
 use crate::profiling::ProfileData;
-use crate::world::{AppLogic, NetWorld, SharedNet};
+use crate::world::{AppLogic, NetWorld, SharedNet, DEFAULT_ROUTE_CACHE_CAPACITY};
 use massf_engine::{
     run_parallel, run_sequential, run_sequential_windowed, ExecutionStats, LpId, SimTime,
 };
@@ -32,6 +32,7 @@ pub struct SimOutput<A> {
 pub struct NetSimBuilder {
     shared: Arc<SharedNet>,
     initial: Vec<(SimTime, LpId, NetEvent)>,
+    route_cache_capacity: usize,
 }
 
 impl NetSimBuilder {
@@ -40,6 +41,7 @@ impl NetSimBuilder {
         NetSimBuilder {
             shared: SharedNet::new(net, resolver),
             initial: Vec::new(),
+            route_cache_capacity: DEFAULT_ROUTE_CACHE_CAPACITY,
         }
     }
 
@@ -53,7 +55,17 @@ impl NetSimBuilder {
         NetSimBuilder {
             shared: SharedNet::with_faults(net, faults),
             initial: Vec::new(),
+            route_cache_capacity: DEFAULT_ROUTE_CACHE_CAPACITY,
         }
+    }
+
+    /// Per-source route-cache capacity for the worlds this builder
+    /// runs; `0` disables route caching (every resolve goes straight to
+    /// the resolver). Simulation results are bit-identical either way —
+    /// only the `route_cache` profile counters and resolve cost differ.
+    pub fn route_cache_capacity(&mut self, per_src: usize) -> &mut Self {
+        self.route_cache_capacity = per_src;
+        self
     }
 
     /// The shared network handle (topology + routing + link constants).
@@ -109,7 +121,8 @@ impl NetSimBuilder {
 
     /// Run on the sequential reference executor.
     pub fn run_sequential<A: AppLogic>(&self, app: A, end: SimTime) -> SimOutput<A> {
-        let mut world = NetWorld::new(self.shared.clone(), app);
+        let mut world =
+            NetWorld::with_route_cache(self.shared.clone(), app, self.route_cache_capacity);
         let stats = run_sequential(
             &mut world,
             self.shared.lp_count(),
@@ -135,7 +148,8 @@ impl NetSimBuilder {
         assignment: &[u32],
         partitions: usize,
     ) -> SimOutput<A> {
-        let mut world = NetWorld::new(self.shared.clone(), app);
+        let mut world =
+            NetWorld::with_route_cache(self.shared.clone(), app, self.route_cache_capacity);
         let stats = run_sequential_windowed(
             &mut world,
             self.shared.lp_count(),
@@ -165,7 +179,13 @@ impl NetSimBuilder {
         partitions: usize,
     ) -> SimOutput<A> {
         let shards: Vec<NetWorld<A>> = (0..partitions)
-            .map(|_| NetWorld::new(self.shared.clone(), app.clone()))
+            .map(|_| {
+                NetWorld::with_route_cache(
+                    self.shared.clone(),
+                    app.clone(),
+                    self.route_cache_capacity,
+                )
+            })
             .collect();
         let (shards, stats) = run_parallel(
             shards,

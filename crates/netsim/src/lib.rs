@@ -33,7 +33,10 @@ pub mod world;
 pub use agent::Agent;
 pub use builder::{NetSimBuilder, SimOutput};
 pub use massf_faults::{FaultEvent, FaultKind, FaultScript, FaultState};
+pub use massf_routing::RouteCacheStats;
 pub use packet::{FlowId, NetEvent, Packet, PacketKind};
 pub use profiling::ProfileData;
 pub use tcp::AbortReason;
-pub use world::{AppLogic, NetWorld, NoApp, SharedNet, SimApi, TransportKind};
+pub use world::{
+    AppLogic, NetWorld, NoApp, SharedNet, SimApi, TransportKind, DEFAULT_ROUTE_CACHE_CAPACITY,
+};

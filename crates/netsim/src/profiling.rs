@@ -8,6 +8,8 @@
 //! per-node kernel-event counts (vertex weights) and per-link packet
 //! counts (edge weights).
 
+use massf_routing::RouteCacheStats;
+
 /// Traffic counters from one simulation run (or one partition's shard;
 /// merge shards with [`ProfileData::merge`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +35,11 @@ pub struct ProfileData {
     pub aborted_flows: u64,
     /// Scripted fault events handled (link/router/adjacency state flips).
     pub fault_events: u64,
+    /// Route-cache observability: hit/miss/evict counts of the world's
+    /// per-source path cache. Deterministic (the cache is sharded by
+    /// source and queried only from the source's LP), so these counters
+    /// participate in the bit-identity equality checks like any other.
+    pub route_cache: RouteCacheStats,
 }
 
 impl ProfileData {
@@ -48,6 +55,7 @@ impl ProfileData {
             fault_drops: 0,
             aborted_flows: 0,
             fault_events: 0,
+            route_cache: RouteCacheStats::default(),
         }
     }
 
@@ -71,6 +79,7 @@ impl ProfileData {
         self.fault_drops += other.fault_drops;
         self.aborted_flows += other.aborted_flows;
         self.fault_events += other.fault_events;
+        self.route_cache.merge(&other.route_cache);
     }
 
     /// Total packets handled across all nodes.
@@ -102,6 +111,12 @@ mod tests {
         b.fault_drops = 7;
         b.aborted_flows = 3;
         b.fault_events = 4;
+        b.route_cache = RouteCacheStats {
+            hits: 8,
+            misses: 5,
+            evictions: 2,
+        };
+        a.route_cache.hits = 1;
         a.merge(&b);
         assert_eq!(a.node_packets, vec![11, 22]);
         assert_eq!(a.link_packets, vec![33]);
@@ -111,6 +126,14 @@ mod tests {
         assert_eq!(a.fault_drops, 7);
         assert_eq!(a.aborted_flows, 3);
         assert_eq!(a.fault_events, 4);
+        assert_eq!(
+            a.route_cache,
+            RouteCacheStats {
+                hits: 9,
+                misses: 5,
+                evictions: 2,
+            }
+        );
         assert_eq!(a.total_node_packets(), 33);
         assert_eq!(a.total_link_packets(), 33);
     }

@@ -12,10 +12,18 @@ use crate::profiling::ProfileData;
 use crate::tcp::{AbortReason, SendAction, TcpReceiver, TcpSender};
 use massf_engine::{Emitter, LpId, Model, SimTime};
 use massf_faults::FaultState;
-use massf_routing::PathResolver;
+use massf_routing::{PathResolver, RouteCache};
 use massf_topology::{Link, Network, NodeId};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Default per-source route-cache capacity (destinations per source
+/// node; see [`RouteCache`]). Sized so even a 20,000-node world stays
+/// within tens of MB of cache while typical workloads — which revisit
+/// far fewer than 128 peers per host — hit on nearly every resolve.
+/// Pass `0` to [`NetWorld::with_route_cache`] /
+/// [`crate::NetSimBuilder::route_cache_capacity`] to disable caching.
+pub const DEFAULT_ROUTE_CACHE_CAPACITY: usize = 128;
 
 /// Transport protocol selector for injected traffic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,7 +149,14 @@ impl SimApi<'_, '_> {
     /// Send one UDP datagram of `bytes` payload to `dst`, carrying the
     /// app-opaque `meta` word. Returns false when unreachable.
     pub fn send_datagram(&mut self, dst: NodeId, bytes: u32, meta: u64) -> bool {
-        let Some(path) = route_arc(self.shared, self.host, dst, self.now) else {
+        let Some(path) = route_arc(
+            self.shared,
+            self.state,
+            self.profile,
+            self.host,
+            dst,
+            self.now,
+        ) else {
             self.profile.unroutable += 1;
             return false;
         };
@@ -250,15 +265,21 @@ struct NodeStates {
     senders: HashMap<FlowId, FlowState>,
     /// TCP receivers, keyed by flow (owned by the destination host).
     receivers: HashMap<FlowId, TcpReceiver>,
+    /// Memoized path resolutions, sharded by source node. Routes are
+    /// only resolved while handling an event at the source's LP, so
+    /// each shard is owned by exactly one partition — per-run state
+    /// that stays bit-identical across executors (see `route_arc`).
+    route_cache: RouteCache,
 }
 
 impl NodeStates {
-    fn new(shared: &SharedNet) -> Self {
+    fn new(shared: &SharedNet, route_cache_capacity: usize) -> Self {
         NodeStates {
             flow_counter: vec![0; shared.net.node_count()],
             busy_until: vec![SimTime::ZERO; shared.net.links.len() * 2],
             senders: HashMap::new(),
             receivers: HashMap::new(),
+            route_cache: RouteCache::new(shared.net.node_count(), route_cache_capacity),
         }
     }
 }
@@ -273,9 +294,16 @@ pub struct NetWorld<A: AppLogic> {
 }
 
 impl<A: AppLogic> NetWorld<A> {
-    /// A world over `shared` with application logic `app`.
+    /// A world over `shared` with application logic `app` and the
+    /// default route-cache capacity.
     pub fn new(shared: Arc<SharedNet>, app: A) -> Self {
-        let state = NodeStates::new(&shared);
+        Self::with_route_cache(shared, app, DEFAULT_ROUTE_CACHE_CAPACITY)
+    }
+
+    /// Like [`NetWorld::new`] with an explicit per-source route-cache
+    /// capacity (`0` disables route caching).
+    pub fn with_route_cache(shared: Arc<SharedNet>, app: A, route_cache_capacity: usize) -> Self {
+        let state = NodeStates::new(&shared, route_cache_capacity);
         let profile = ProfileData::new(shared.net.node_count(), shared.net.links.len());
         NetWorld {
             shared,
@@ -301,15 +329,40 @@ impl<A: AppLogic> NetWorld<A> {
     }
 }
 
-/// Resolve a route at virtual time `now` and wrap it in an `Arc`,
-/// requiring ≥ 2 nodes.
-fn route_arc(shared: &SharedNet, src: NodeId, dst: NodeId, now: SimTime) -> Option<Arc<[NodeId]>> {
+/// Resolve a route at virtual time `now` through the world's path
+/// cache, requiring ≥ 2 nodes. Keys embed the fault-epoch index, so a
+/// reconvergence can never serve a pre-fault path; repeated pairs in
+/// the same epoch share one `Arc` and skip the resolver entirely.
+///
+/// Determinism: this is only called while handling an event at `src`'s
+/// LP, so the per-src cache shard — and with it every hit/miss/evict
+/// counter in `profile.route_cache` — sees the same query sequence at
+/// any thread count or partitioning.
+fn route_arc(
+    shared: &SharedNet,
+    state: &mut NodeStates,
+    profile: &mut ProfileData,
+    src: NodeId,
+    dst: NodeId,
+    now: SimTime,
+) -> Option<Arc<[NodeId]>> {
     if src == dst {
         return None;
     }
-    let path = shared.resolver_at(now).route(src, dst)?;
-    debug_assert!(path.len() >= 2);
-    Some(path.into())
+    let epoch = match &shared.faults {
+        // simlint: allow(cast-lossy) -- epoch count is bounded by the fault-script length, far below u32::MAX
+        Some(f) => f.epoch_at(now) as u32,
+        None => 0,
+    };
+    state
+        .route_cache
+        .get_or_insert_with(&mut profile.route_cache, epoch, src, dst, || {
+            let path = shared.resolver_at(now).route_arc(src, dst);
+            if let Some(p) = &path {
+                debug_assert!(p.len() >= 2);
+            }
+            path
+        })
 }
 
 /// Put `pkt` on the wire at `pkt.path[pkt.hop] → pkt.path[pkt.hop+1]`.
@@ -368,7 +421,7 @@ fn start_tcp_flow_inner(
     bytes: u64,
     now: SimTime,
 ) -> Option<FlowId> {
-    let Some(path) = route_arc(shared, src, dst, now) else {
+    let Some(path) = route_arc(shared, state, profile, src, dst, now) else {
         profile.unroutable += 1;
         return None;
     };
@@ -573,7 +626,7 @@ impl<A: AppLogic> Model for NetWorld<A> {
                 // entirely in fault-free runs, whose behavior must not
                 // change.)
                 if shared.faults.is_some() {
-                    match route_arc(shared, node, fs.destination(), now) {
+                    match route_arc(shared, state, profile, node, fs.destination(), now) {
                         Some(path) => {
                             fs.unroutable = false;
                             if path != fs.path {
@@ -630,7 +683,7 @@ impl<A: AppLogic> Model for NetWorld<A> {
                 start_tcp_flow_inner(shared, state, profile, out, node, dst, bytes, now);
             }
             NetEvent::SendDatagram { dst, bytes, meta } => {
-                let Some(path) = route_arc(shared, node, dst, now) else {
+                let Some(path) = route_arc(shared, state, profile, node, dst, now) else {
                     profile.unroutable += 1;
                     return;
                 };

@@ -1,0 +1,396 @@
+//! Deterministic, epoch-aware path cache (NIx-vector style route
+//! memoization — DESIGN.md §3 item 11).
+//!
+//! Every flow setup, datagram, and fault-epoch RTO failover resolves a
+//! full node-level path; workloads re-ask for the same `(src, dst)`
+//! pairs constantly. [`RouteCache`] memoizes `(src, dst) → Arc<[NodeId]>`
+//! in front of any [`PathResolver`] so repeated pairs skip Dijkstra and
+//! BGP leg stitching entirely and hand out the shared `Arc` without
+//! copying.
+//!
+//! ## Determinism
+//!
+//! The cache is *sharded by source node* and uses a *stamp-based LRU*
+//! (monotone per-shard counter + lazy-deletion queue): eviction order is
+//! a pure function of the query sequence, never of hasher iteration
+//! order (the `HashMap` is only ever point-looked-up, respecting
+//! simlint's D1 rule). Because the simulator only resolves routes from
+//! the event handler of the *source* LP, each shard sees exactly the
+//! same query sequence at any thread count or partitioning — so cache
+//! contents, hit/miss/evict counters, and returned paths are
+//! bit-identical across sequential, windowed, and parallel runs.
+//!
+//! ## Fault epochs
+//!
+//! Keys embed the fault-epoch index. Each epoch owns its resolver (see
+//! `crates/faults`), so entries of a previous epoch can never be served
+//! in a later one — invalidation by construction, no flushes. Negative
+//! results (`None`: destination unreachable under BGP policy or a fault)
+//! are cached too.
+
+use crate::resolver::PathResolver;
+use massf_topology::NodeId;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Route-cache observability counters. Deterministic for a fixed query
+/// sequence; merged across partitions like any other profile counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteCacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that fell through to the resolver.
+    pub misses: u64,
+    /// Entries evicted to respect the per-source capacity.
+    pub evictions: u64,
+}
+
+impl RouteCacheStats {
+    /// Accumulate another shard's counters.
+    pub fn merge(&mut self, other: &RouteCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+
+    /// Hits / (hits + misses), or 0 when nothing was queried.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One cached resolution; `path` is `None` for cached-negative entries.
+struct CacheEntry {
+    path: Option<Arc<[NodeId]>>,
+    /// Stamp of the entry's latest use; queue records with an older
+    /// stamp are stale and skipped by eviction/compaction.
+    stamp: u64,
+}
+
+/// Per-source cache shard: point-lookup map plus a lazy-deletion LRU
+/// queue ordered by use stamp.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u64, CacheEntry>,
+    queue: VecDeque<(u64, u64)>, // (stamp, key), oldest first
+    stamp: u64,
+}
+
+impl Shard {
+    /// Drop stale queue records once the queue outgrows the live set by
+    /// 4× (amortized O(1) per operation; keeps memory bounded under
+    /// heavy hit traffic, which appends a queue record per hit).
+    fn compact(&mut self, capacity: usize) {
+        if self.queue.len() > capacity.saturating_mul(4).max(64) {
+            let map = &self.map;
+            self.queue
+                .retain(|&(s, k)| map.get(&k).is_some_and(|e| e.stamp == s));
+        }
+    }
+}
+
+/// A bounded, sharded, deterministic-LRU cache of resolved paths keyed
+/// by `(epoch, src, dst)`. See the module docs for the determinism and
+/// epoch-invalidation arguments.
+pub struct RouteCache {
+    shards: Vec<Shard>,
+    /// Max live entries per source shard; 0 disables the cache (every
+    /// query is a pass-through and no counters move).
+    capacity: usize,
+}
+
+impl RouteCache {
+    /// A cache over `node_count` source shards holding at most
+    /// `per_src_capacity` destinations each (`0` disables caching).
+    /// Empty shards allocate nothing.
+    pub fn new(node_count: usize, per_src_capacity: usize) -> Self {
+        let shards = if per_src_capacity == 0 {
+            Vec::new()
+        } else {
+            (0..node_count).map(|_| Shard::default()).collect()
+        };
+        RouteCache {
+            shards,
+            capacity: per_src_capacity,
+        }
+    }
+
+    /// Is caching enabled (capacity > 0)?
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Look up `(epoch, src, dst)`; on a miss, resolve via `resolve`,
+    /// cache the result (evicting the source's least-recently-used
+    /// entry at capacity), and return it. Counters accrue to `stats`.
+    pub fn get_or_insert_with(
+        &mut self,
+        stats: &mut RouteCacheStats,
+        epoch: u32,
+        src: NodeId,
+        dst: NodeId,
+        resolve: impl FnOnce() -> Option<Arc<[NodeId]>>,
+    ) -> Option<Arc<[NodeId]>> {
+        if self.capacity == 0 {
+            return resolve();
+        }
+        let shard = &mut self.shards[src.index()];
+        let key = (u64::from(epoch) << 32) | u64::from(dst.0);
+        shard.stamp += 1;
+        let stamp = shard.stamp;
+        if let Some(entry) = shard.map.get_mut(&key) {
+            stats.hits += 1;
+            entry.stamp = stamp;
+            let path = entry.path.clone();
+            shard.queue.push_back((stamp, key));
+            shard.compact(self.capacity);
+            return path;
+        }
+        stats.misses += 1;
+        let path = resolve();
+        if shard.map.len() >= self.capacity {
+            // Evict the least-recently-used live entry, skipping queue
+            // records superseded by a later use of the same key.
+            while let Some((s, k)) = shard.queue.pop_front() {
+                if shard.map.get(&k).is_some_and(|e| e.stamp == s) {
+                    shard.map.remove(&k);
+                    stats.evictions += 1;
+                    break;
+                }
+            }
+        }
+        shard.map.insert(
+            key,
+            CacheEntry {
+                path: path.clone(),
+                stamp,
+            },
+        );
+        shard.queue.push_back((stamp, key));
+        shard.compact(self.capacity);
+        path
+    }
+}
+
+/// A [`PathResolver`] wrapper memoizing its inner resolver through a
+/// [`RouteCache`] (epoch 0 only — for epoch-aware simulation runs the
+/// netsim world drives a `RouteCache` directly; this wrapper serves
+/// standalone consumers such as benches and property tests).
+pub struct CachedResolver<R> {
+    inner: R,
+    cache: Mutex<(RouteCache, RouteCacheStats)>,
+}
+
+impl<R: PathResolver> CachedResolver<R> {
+    /// Wrap `inner`, caching up to `per_src_capacity` destinations per
+    /// source over `node_count` sources (`0` disables caching).
+    pub fn new(inner: R, node_count: usize, per_src_capacity: usize) -> Self {
+        CachedResolver {
+            inner,
+            cache: Mutex::new((
+                RouteCache::new(node_count, per_src_capacity),
+                RouteCacheStats::default(),
+            )),
+        }
+    }
+
+    /// The wrapped resolver.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> RouteCacheStats {
+        self.cache.lock().1
+    }
+}
+
+impl<R: PathResolver> PathResolver for CachedResolver<R> {
+    fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        self.route_arc(src, dst).map(|p| p.to_vec())
+    }
+
+    fn route_arc(&self, src: NodeId, dst: NodeId) -> Option<Arc<[NodeId]>> {
+        let guard = &mut *self.cache.lock();
+        let (cache, stats) = guard;
+        cache.get_or_insert_with(stats, 0, src, dst, || self.inner.route_arc(src, dst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A resolver that returns `src → dst` for even dst ids, `None` for
+    /// odd, counting invocations.
+    struct Toy {
+        calls: std::sync::atomic::AtomicU64,
+    }
+
+    impl Toy {
+        fn new() -> Self {
+            Toy {
+                calls: std::sync::atomic::AtomicU64::new(0),
+            }
+        }
+        fn calls(&self) -> u64 {
+            self.calls.load(std::sync::atomic::Ordering::Relaxed)
+        }
+    }
+
+    impl PathResolver for Toy {
+        fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+            self.calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            dst.0.is_multiple_of(2).then(|| vec![src, dst])
+        }
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn hit_returns_same_arc_without_resolving() {
+        let r = CachedResolver::new(Toy::new(), 8, 4);
+        let a = r.route_arc(n(0), n(2)).expect("even dst routes");
+        let b = r.route_arc(n(0), n(2)).expect("even dst routes");
+        assert!(Arc::ptr_eq(&a, &b), "hit must hand out the shared Arc");
+        assert_eq!(r.inner().calls(), 1);
+        assert_eq!(
+            r.stats(),
+            RouteCacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn negative_results_are_cached() {
+        let r = CachedResolver::new(Toy::new(), 8, 4);
+        assert_eq!(r.route_arc(n(0), n(3)), None);
+        assert_eq!(r.route_arc(n(0), n(3)), None);
+        assert_eq!(r.inner().calls(), 1, "None must be memoized too");
+        assert_eq!(r.stats().hits, 1);
+    }
+
+    #[test]
+    fn capacity_zero_disables_and_counts_nothing() {
+        let r = CachedResolver::new(Toy::new(), 8, 0);
+        for _ in 0..3 {
+            let _ = r.route_arc(n(0), n(2));
+        }
+        assert_eq!(r.inner().calls(), 3);
+        assert_eq!(r.stats(), RouteCacheStats::default());
+    }
+
+    #[test]
+    fn capacity_one_evicts_lru() {
+        let r = CachedResolver::new(Toy::new(), 8, 1);
+        let _ = r.route_arc(n(0), n(2)); // miss
+        let _ = r.route_arc(n(0), n(4)); // miss, evicts dst 2
+        let _ = r.route_arc(n(0), n(2)); // miss again
+        assert_eq!(r.inner().calls(), 3);
+        assert_eq!(
+            r.stats(),
+            RouteCacheStats {
+                hits: 0,
+                misses: 3,
+                evictions: 2
+            }
+        );
+    }
+
+    #[test]
+    fn lru_respects_recency_not_insertion_order() {
+        let r = CachedResolver::new(Toy::new(), 8, 2);
+        let _ = r.route_arc(n(0), n(2)); // miss: {2}
+        let _ = r.route_arc(n(0), n(4)); // miss: {2, 4}
+        let _ = r.route_arc(n(0), n(2)); // hit — 2 is now most recent
+        let _ = r.route_arc(n(0), n(6)); // miss: evicts 4, not 2
+        let _ = r.route_arc(n(0), n(2)); // must still hit
+        assert_eq!(
+            r.stats(),
+            RouteCacheStats {
+                hits: 2,
+                misses: 3,
+                evictions: 1
+            }
+        );
+    }
+
+    #[test]
+    fn shards_are_independent_per_source() {
+        let r = CachedResolver::new(Toy::new(), 8, 1);
+        let _ = r.route_arc(n(0), n(2));
+        let _ = r.route_arc(n(1), n(2)); // different shard: own miss
+        let _ = r.route_arc(n(0), n(2)); // still cached in shard 0
+        assert_eq!(
+            r.stats(),
+            RouteCacheStats {
+                hits: 1,
+                misses: 2,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn epochs_partition_the_key_space() {
+        let mut cache = RouteCache::new(4, 8);
+        let mut stats = RouteCacheStats::default();
+        let resolve = || Some(Arc::from(vec![n(0), n(2)]));
+        let _ = cache.get_or_insert_with(&mut stats, 0, n(0), n(2), resolve);
+        let _ = cache.get_or_insert_with(&mut stats, 1, n(0), n(2), resolve);
+        let _ = cache.get_or_insert_with(&mut stats, 0, n(0), n(2), resolve);
+        assert_eq!(stats.misses, 2, "epoch 1 must not see epoch 0's entry");
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn heavy_hit_traffic_keeps_queue_bounded() {
+        let r = CachedResolver::new(Toy::new(), 2, 2);
+        for _ in 0..10_000 {
+            let _ = r.route_arc(n(0), n(2));
+        }
+        let guard = r.cache.lock();
+        let shard = &guard.0.shards[0];
+        assert!(
+            shard.queue.len() <= 64 + 1,
+            "lazy-deletion queue must stay bounded, got {}",
+            shard.queue.len()
+        );
+    }
+
+    #[test]
+    fn stats_merge_sums() {
+        let mut a = RouteCacheStats {
+            hits: 1,
+            misses: 2,
+            evictions: 3,
+        };
+        a.merge(&RouteCacheStats {
+            hits: 10,
+            misses: 20,
+            evictions: 30,
+        });
+        assert_eq!(
+            a,
+            RouteCacheStats {
+                hits: 11,
+                misses: 22,
+                evictions: 33
+            }
+        );
+        assert!((a.hit_rate() - 11.0 / 33.0).abs() < 1e-12);
+        assert_eq!(RouteCacheStats::default().hit_rate(), 0.0);
+    }
+}

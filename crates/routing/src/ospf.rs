@@ -5,13 +5,26 @@
 //! multi-AS network. Shortest-path trees (SPTs) are computed per
 //! *destination* with Dijkstra and cached, so path queries cost
 //! O(path length) after the first query to a destination and the domain
-//! never materializes an O(N²) table. The cache is bounded (FIFO
-//! eviction) to keep 20,000-router domains within memory.
+//! never materializes an O(N²) table unless explicitly warmed.
+//!
+//! ## Storage and locking
+//!
+//! An SPT stores *only* the parent array — `parent[i]` is the local
+//! index of the next hop from member `i` toward the destination, which
+//! doubles as the next-hop table, and distances are recomputed on demand
+//! by walking parents and summing link costs (4 bytes per node per
+//! destination instead of 12; a 20,000-router full table is 1.6 GB, not
+//! 4.8 GB). Lazily computed SPTs live in a bounded FIFO cache behind a
+//! mutex; [`OspfDomain::warm_full_table`] instead computes every
+//! destination on the shared worker pool (reusing per-worker Dijkstra
+//! scratch buffers) and freezes the result into a lock-free read-only
+//! table, so post-warm queries from parallel engines never contend.
 
 // simlint: allow-file(cast-lossy) -- local router indices are positions in `members`, bounded by the domain size which is far below u32::MAX
 use massf_topology::{Network, NodeId};
 use parking_lot::Mutex;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::OnceLock;
 
 /// Link cost metric for SPF.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,21 +51,29 @@ impl CostMetric {
     }
 }
 
-/// A destination's shortest-path tree: for each member node, the parent
-/// (next hop toward the destination) and the distance.
+/// A destination's shortest-path tree, stored as a flat parent array —
+/// the parent *is* the next hop toward the destination, and distances
+/// are recovered by walking parents (see the module docs).
 #[derive(Debug, Clone)]
 struct Spt {
     /// `parent[i]` = local index of next hop from member `i` toward the
     /// destination; `u32::MAX` when unreachable or at the destination.
-    parent: Vec<u32>,
-    /// Total cost from member `i` to the destination (`u64::MAX` if
-    /// unreachable).
+    parent: Box<[u32]>,
+}
+
+/// Reusable Dijkstra working memory: one allocation per worker instead
+/// of one per destination when warming a full table.
+#[derive(Default)]
+struct SptScratch {
     dist: Vec<u64>,
+    heap: BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
 }
 
 /// An OSPF routing domain over a subset of a [`Network`]'s nodes.
 ///
-/// Queries are thread-safe; the SPT cache sits behind a mutex.
+/// Queries are thread-safe: lazily computed SPTs sit in a bounded FIFO
+/// cache behind a mutex, and a warmed full table is frozen behind a
+/// `OnceLock` that readers hit without any lock.
 pub struct OspfDomain {
     /// Member nodes (routers and hosts of the domain), defining local
     /// indices.
@@ -63,12 +84,16 @@ pub struct OspfDomain {
     adj: Vec<Vec<(u32, u64)>>,
     metric: CostMetric,
     cache: Mutex<SptCache>,
+    /// The full per-destination table installed by `warm_full_table`;
+    /// once set it is immutable and read lock-free.
+    frozen: OnceLock<Box<[Spt]>>,
 }
 
 struct SptCache {
     map: HashMap<u32, Spt>, // keyed by destination local index
     order: VecDeque<u32>,   // FIFO for eviction
     capacity: usize,
+    scratch: SptScratch, // reused across lazy Dijkstra runs
 }
 
 impl OspfDomain {
@@ -125,7 +150,9 @@ impl OspfDomain {
                 map: HashMap::new(),
                 order: VecDeque::new(),
                 capacity: cache_capacity.max(1),
+                scratch: SptScratch::default(),
             }),
+            frozen: OnceLock::new(),
         }
     }
 
@@ -144,11 +171,14 @@ impl OspfDomain {
         self.local_of[node.index()] != u32::MAX
     }
 
-    fn compute_spt(&self, dst_local: u32) -> Spt {
+    fn compute_spt(&self, dst_local: u32, scratch: &mut SptScratch) -> Spt {
         let n = self.members.len();
-        let mut dist = vec![u64::MAX; n];
-        let mut parent = vec![u32::MAX; n];
-        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, u32)>> = BinaryHeap::new();
+        scratch.dist.clear();
+        scratch.dist.resize(n, u64::MAX);
+        scratch.heap.clear();
+        let dist = &mut scratch.dist;
+        let heap = &mut scratch.heap;
+        let mut parent = vec![u32::MAX; n].into_boxed_slice();
         dist[dst_local as usize] = 0;
         heap.push(std::cmp::Reverse((0, dst_local)));
         while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
@@ -167,34 +197,43 @@ impl OspfDomain {
                 }
             }
         }
-        Spt { parent, dist }
+        Spt { parent }
     }
 
     /// Precompute the SPT of *every* destination on the shared worker
-    /// pool and install them all in the cache (growing its capacity to
-    /// hold the full table, so warming is never undone by eviction).
+    /// pool and freeze the result into a lock-free read-only table (the
+    /// bounded lazy cache is bypassed from then on, so warming is never
+    /// undone by eviction and post-warm queries take no lock).
     ///
     /// Each destination's Dijkstra is independent and deterministic, so
     /// the warmed table is identical at any thread count; subsequent
-    /// `path`/`next_hop`/`distance` queries are pure cache hits.
+    /// `path`/`next_hop`/`distance` queries are pure table reads.
+    /// Idempotent: a second call (even concurrent) is a no-op.
     pub fn warm_full_table(&self) {
-        let n = self.members.len();
-        let spts = massf_parutil::par_map_indexed(n, |dst| self.compute_spt(dst as u32));
-        let mut cache = self.cache.lock();
-        cache.capacity = cache.capacity.max(n);
-        for (dst, spt) in spts.into_iter().enumerate() {
-            let dst = dst as u32;
-            if !cache.map.contains_key(&dst) {
-                cache.order.push_back(dst);
-            }
-            cache.map.insert(dst, spt);
+        if self.frozen.get().is_some() {
+            return;
         }
+        let n = self.members.len();
+        // Chunked fan-out so each worker reuses one Dijkstra scratch
+        // (dist buffer + heap) across all its destinations.
+        let spts: Vec<Spt> = massf_parutil::par_map_chunks(n, |range| {
+            let mut scratch = SptScratch::default();
+            range
+                .map(|dst| self.compute_spt(dst as u32, &mut scratch))
+                .collect()
+        });
+        let _ = self.frozen.set(spts.into_boxed_slice());
     }
 
     fn with_spt<R>(&self, dst_local: u32, f: impl FnOnce(&Spt) -> R) -> R {
+        // Warmed table: immutable, no lock.
+        if let Some(table) = self.frozen.get() {
+            return f(&table[dst_local as usize]);
+        }
         let mut cache = self.cache.lock();
         if !cache.map.contains_key(&dst_local) {
-            let spt = self.compute_spt(dst_local);
+            let cache = &mut *cache;
+            let spt = self.compute_spt(dst_local, &mut cache.scratch);
             if cache.map.len() >= cache.capacity {
                 if let Some(old) = cache.order.pop_front() {
                     cache.map.remove(&old);
@@ -204,6 +243,18 @@ impl OspfDomain {
             cache.map.insert(dst_local, spt);
         }
         f(&cache.map[&dst_local])
+    }
+
+    /// Cheapest direct-edge cost `from → to`; both must be adjacent
+    /// (parallel links collapse to the min cost, matching what Dijkstra
+    /// relaxed with).
+    fn min_edge_cost(&self, from: u32, to: u32) -> u64 {
+        self.adj[from as usize]
+            .iter()
+            .filter(|&&(nb, _)| nb == to)
+            .map(|&(_, c)| c)
+            .min()
+            .expect("SPT parents are adjacent members")
     }
 
     /// Next hop from `src` toward `dst`, or `None` if unreachable /
@@ -230,31 +281,95 @@ impl OspfDomain {
             return Some(vec![src]);
         }
         self.with_spt(ld, |spt| {
-            if spt.dist[ls as usize] == u64::MAX {
-                return None;
+            if spt.parent[ls as usize] == u32::MAX {
+                return None; // unreachable (ls != ld here)
             }
-            let mut path = vec![src];
+            // Count-then-fill: one exact allocation, no growth.
+            let len = 1 + walk_len(&spt.parent, ls, ld);
+            let mut path = Vec::with_capacity(len);
+            path.push(src);
             let mut cur = ls;
             while cur != ld {
                 cur = spt.parent[cur as usize];
-                debug_assert_ne!(cur, u32::MAX);
                 path.push(self.members[cur as usize]);
             }
             Some(path)
         })
     }
 
+    /// Append the shortest path `src → … → dst` to `out`, skipping `src`
+    /// itself when it already sits at `out`'s tail (the multi-AS
+    /// resolver stitches legs into one buffer this way). Returns `false`
+    /// — leaving `out` untouched — when either endpoint is not a member
+    /// or `dst` is unreachable.
+    pub(crate) fn path_append(&self, src: NodeId, dst: NodeId, out: &mut Vec<NodeId>) -> bool {
+        let (ls, ld) = (self.local_of[src.index()], self.local_of[dst.index()]);
+        if ls == u32::MAX || ld == u32::MAX {
+            return false;
+        }
+        let skip_src = out.last() == Some(&src);
+        if ls == ld {
+            if !skip_src {
+                out.push(src);
+            }
+            return true;
+        }
+        self.with_spt(ld, |spt| {
+            if spt.parent[ls as usize] == u32::MAX {
+                return false;
+            }
+            out.reserve(walk_len(&spt.parent, ls, ld) + usize::from(!skip_src));
+            if !skip_src {
+                out.push(src);
+            }
+            let mut cur = ls;
+            while cur != ld {
+                cur = spt.parent[cur as usize];
+                out.push(self.members[cur as usize]);
+            }
+            true
+        })
+    }
+
     /// Shortest distance (in metric units), or `None` if unreachable.
+    /// Recomputed as the cost sum along the parent walk (the SPT stores
+    /// only parents; the sum of minimal edge costs along the tree path
+    /// is exactly the distance Dijkstra converged to).
     pub fn distance(&self, src: NodeId, dst: NodeId) -> Option<u64> {
         let (ls, ld) = (self.local_of[src.index()], self.local_of[dst.index()]);
         if ls == u32::MAX || ld == u32::MAX {
             return None;
         }
+        if ls == ld {
+            return Some(0);
+        }
         self.with_spt(ld, |spt| {
-            let d = spt.dist[ls as usize];
-            (d != u64::MAX).then_some(d)
+            if spt.parent[ls as usize] == u32::MAX {
+                return None;
+            }
+            let mut total = 0u64;
+            let mut cur = ls;
+            while cur != ld {
+                let p = spt.parent[cur as usize];
+                total += self.min_edge_cost(cur, p);
+                cur = p;
+            }
+            Some(total)
         })
     }
+}
+
+/// Number of edges on the tree path `from → … → to` (parents must form
+/// a path, i.e. `from` is reachable).
+fn walk_len(parent: &[u32], from: u32, to: u32) -> usize {
+    let mut hops = 0usize;
+    let mut cur = from;
+    while cur != to {
+        cur = parent[cur as usize];
+        debug_assert_ne!(cur, u32::MAX);
+        hops += 1;
+    }
+    hops
 }
 
 #[cfg(test)]

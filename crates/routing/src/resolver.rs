@@ -16,13 +16,40 @@ use crate::bgp::BgpRib;
 use crate::ospf::{CostMetric, OspfDomain};
 use massf_topology::mabrite::MultiAsNetwork;
 use massf_topology::{AsClass, MassfError, MultiAsTopologyConfig, Network, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Resolves full node-level paths between any two nodes.
 pub trait PathResolver: Send + Sync {
     /// The path `src → … → dst` inclusive of both endpoints, or `None`
     /// when `dst` is unreachable from `src` (possible under BGP policy).
     fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>>;
+
+    /// Like [`PathResolver::route`], returning the path as a shared
+    /// slice (what the packet simulator stores per flow). The default
+    /// wraps `route`; caching resolvers override it to hand out the
+    /// memoized `Arc` without copying.
+    fn route_arc(&self, src: NodeId, dst: NodeId) -> Option<Arc<[NodeId]>> {
+        self.route(src, dst).map(Arc::from)
+    }
+}
+
+impl<R: PathResolver + ?Sized> PathResolver for &R {
+    fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        (**self).route(src, dst)
+    }
+    fn route_arc(&self, src: NodeId, dst: NodeId) -> Option<Arc<[NodeId]>> {
+        (**self).route_arc(src, dst)
+    }
+}
+
+impl<R: PathResolver + ?Sized> PathResolver for Arc<R> {
+    fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        (**self).route(src, dst)
+    }
+    fn route_arc(&self, src: NodeId, dst: NodeId) -> Option<Arc<[NodeId]>> {
+        (**self).route_arc(src, dst)
+    }
 }
 
 /// Single-domain OSPF resolution (the paper's Section 4 network).
@@ -59,8 +86,10 @@ pub struct MultiAsResolver {
     /// AS of every node.
     as_of: Vec<u16>,
     /// For each adjacent AS pair `(a, b)` (both orders), the chosen
-    /// inter-AS link endpoints `(border in a, border in b)`.
-    gateways: HashMap<(u16, u16), (NodeId, NodeId)>,
+    /// inter-AS link endpoints `(border in a, border in b)`. Ordered
+    /// map for consistency with the other deterministic-critical state
+    /// (only ever point-looked-up, but iteration must stay safe to add).
+    gateways: BTreeMap<(u16, u16), (NodeId, NodeId)>,
     /// Primary (and implicit backup) provider per AS, for stub default
     /// routing; `u16::MAX` when the AS has no provider.
     primary_provider: Vec<u16>,
@@ -99,7 +128,7 @@ impl MultiAsResolver {
 
         // Deterministic gateway per adjacent AS pair: the lowest-id
         // inter-AS link between them.
-        let mut gateways: HashMap<(u16, u16), (NodeId, NodeId)> = HashMap::new();
+        let mut gateways: BTreeMap<(u16, u16), (NodeId, NodeId)> = BTreeMap::new();
         for link in &net.links {
             if !link.inter_as {
                 continue;
@@ -227,6 +256,9 @@ impl PathResolver for MultiAsResolver {
         if as_s == as_d {
             return self.domains[as_s as usize].path(src, dst);
         }
+        // Stitch every intra-AS leg and inter-AS crossing into one
+        // buffer: `path_append` writes each leg in place (reserving its
+        // exact length first), so no per-leg Vec is ever allocated.
         let mut path: Vec<NodeId> = Vec::new();
         let mut cur_node = src;
         let mut cur_as = as_s;
@@ -239,23 +271,19 @@ impl PathResolver for MultiAsResolver {
             let next = self.next_as(cur_as, as_d)?;
             let &(exit, entry) = self.gateways.get(&(cur_as, next))?;
             // Intra-AS leg to the exit border router.
-            let leg = self.domains[cur_as as usize].path(cur_node, exit)?;
-            append_leg(&mut path, leg);
+            if !self.domains[cur_as as usize].path_append(cur_node, exit, &mut path) {
+                return None;
+            }
             // Cross the inter-AS link.
             path.push(entry);
             cur_node = entry;
             cur_as = next;
         }
-        let leg = self.domains[as_d as usize].path(cur_node, dst)?;
-        append_leg(&mut path, leg);
+        if !self.domains[as_d as usize].path_append(cur_node, dst, &mut path) {
+            return None;
+        }
         Some(path)
     }
-}
-
-/// Append a leg, dropping its first node when it repeats the path tail.
-fn append_leg(path: &mut Vec<NodeId>, leg: Vec<NodeId>) {
-    let skip = usize::from(path.last() == leg.first() && !path.is_empty());
-    path.extend(leg.into_iter().skip(skip));
 }
 
 #[cfg(test)]

@@ -3,8 +3,9 @@
 # Run from anywhere; operates on the repository containing this script.
 #
 #   scripts/check.sh          full gate (including the release-mode
-#                             fault_flap_study smoke run)
-#   scripts/check.sh --fast   skip the release-mode smoke run
+#                             fault_flap_study and route_resolution
+#                             smoke runs)
+#   scripts/check.sh --fast   skip the release-mode smoke runs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,8 +35,10 @@ cargo test -q
 if [ "$FAST" -eq 0 ]; then
     echo "== fault_flap_study --smoke =="
     cargo run --release -q -p massf-bench --bin fault_flap_study -- --smoke
+    echo "== route_resolution --smoke =="
+    cargo bench -q -p massf-bench --bench route_resolution -- --smoke
 else
-    echo "== fault_flap_study --smoke skipped (--fast) =="
+    echo "== release-mode smoke runs skipped (--fast) =="
 fi
 
 echo "All checks passed."

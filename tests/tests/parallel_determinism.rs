@@ -191,6 +191,104 @@ fn fault_injected_run_identical_across_thread_counts() {
     }
 }
 
+/// The route cache must be (1) transparent — identical simulation
+/// results at every capacity, including disabled and eviction-thrashing
+/// capacity 1 — and (2) deterministic — cache-enabled parallel runs
+/// bit-identical to sequential, *including* the hit/miss/evict
+/// counters, at any thread count. Both hold because the cache is
+/// sharded by source node and routes are only resolved from the source
+/// LP's event handler.
+#[test]
+fn route_cache_transparent_and_identical_across_thread_counts() {
+    let net = generate_flat_network(&FlatTopologyConfig::tiny());
+    let hosts = net.host_ids();
+    let traffic = || {
+        let mut agent = Agent::new();
+        // Repeated pairs (so the cache actually hits) plus spread pairs
+        // (so capacity 1 actually evicts).
+        for i in 0..24 {
+            let a = hosts[i % 4];
+            let b = hosts[hosts.len() - 1 - (i % 6)];
+            if a != b {
+                agent.inject_tcp(SimTime::from_ms(5 * i as u64), a, b, 15_000);
+            }
+        }
+        agent
+    };
+    let duration = SimTime::from_secs(2);
+
+    let run = |capacity: usize, threads: usize, partitions: usize| {
+        with_threads(threads, || {
+            let resolver =
+                std::sync::Arc::new(massf_routing::FlatResolver::new(&net, CostMetric::Latency));
+            let mut builder = NetSimBuilder::new(net.clone(), resolver);
+            builder.route_cache_capacity(capacity);
+            builder.add_agent(traffic());
+            if partitions == 1 {
+                builder.run_sequential(NoApp, duration)
+            } else {
+                let assignment: Vec<u32> = (0..net.node_count())
+                    .map(|i| (i % partitions) as u32)
+                    .collect();
+                let mut window = f64::INFINITY;
+                for link in &net.links {
+                    if assignment[link.a.index()] != assignment[link.b.index()] {
+                        window = window.min(link.latency_ms);
+                    }
+                }
+                builder.run_parallel(
+                    NoApp,
+                    duration,
+                    SimTime::from_ms_f64(window),
+                    &assignment,
+                    partitions,
+                )
+            }
+        })
+    };
+
+    let reference = run(128, 1, 1);
+    assert!(
+        reference.profile.route_cache.hits > 0,
+        "repeated pairs must hit the cache"
+    );
+    for capacity in [0usize, 1, 128] {
+        let seq = run(capacity, 1, 1);
+        // Transparency: everything except the cache counters matches
+        // the reference run regardless of capacity.
+        let mut masked = seq.profile.clone();
+        masked.route_cache = reference.profile.route_cache;
+        assert_eq!(
+            masked, reference.profile,
+            "capacity {capacity} changed simulation results"
+        );
+        assert_eq!(seq.stats.total_events, reference.stats.total_events);
+        if capacity == 0 {
+            assert_eq!(
+                seq.profile.route_cache,
+                Default::default(),
+                "disabled cache must not move counters"
+            );
+        }
+        if capacity == 1 {
+            assert!(
+                seq.profile.route_cache.evictions > 0,
+                "capacity 1 must thrash"
+            );
+        }
+        // Determinism: parallel runs match sequential bit-for-bit,
+        // counters included.
+        for (threads, partitions) in [(1, 2), (2, 2), (4, 2)] {
+            let par = run(capacity, threads, partitions);
+            assert_eq!(
+                par.profile, seq.profile,
+                "capacity {capacity}, threads {threads}, partitions {partitions}"
+            );
+            assert_eq!(par.stats.total_events, seq.stats.total_events);
+        }
+    }
+}
+
 #[test]
 fn multi_as_resolver_identical_across_thread_counts() {
     let cfg = MultiAsTopologyConfig::tiny();
