@@ -1,0 +1,319 @@
+//! Parallel-executor hot-path benchmarks (DESIGN.md §3 item 12): the
+//! overhauled executor (lock-free per-pair outboxes + empty-window
+//! fast-forward, `massf_engine::run_parallel`) against the pre-overhaul
+//! baseline (mutex-per-event inboxes, a barrier pair for every window,
+//! `massf_engine::baseline::run_parallel_locked`) on two pure-engine
+//! workloads:
+//!
+//! * **dense ring** — tokens circulate continuously with hop = window,
+//!   so every window holds events. This isolates the per-event mailbox
+//!   cost; fast-forward never triggers.
+//! * **sparse bursty** — short hop bursts separated by long idle gaps
+//!   (TCP RTO backoff / fault-epoch quiet periods in miniature). The
+//!   overwhelming majority of windows are empty; the baseline pays two
+//!   barriers for each of them, the overhauled executor jumps.
+//!
+//! Both executors must produce bit-identical results (checked by
+//! `--smoke`, wired into scripts/check.sh); the wall-clock and
+//! barrier-round numbers are recorded in BENCH_engine.json (`--record`
+//! prints that JSON). On a single-core host the wall-clock comparison
+//! mostly measures context-switch pressure, so the recorded acceptance
+//! number there is the executed-barrier-round reduction, which is
+//! hardware-independent.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use massf_engine::baseline::run_parallel_locked;
+use massf_engine::{run_parallel, run_sequential, Emitter, ExecutionStats, LpId, Model, SimTime};
+
+/// Ring of LPs passing tokens: each handled event hashes into a per-LP
+/// fingerprint (order-sensitive, so any divergence in per-LP event
+/// sequences is caught), then forwards to the next LP. A token travels
+/// `burst` hops of `hop` each, then sleeps `idle` before the next burst;
+/// `idle == 0` makes the ring dense (hop forever).
+#[derive(Clone)]
+struct BurstRing {
+    n: u32,
+    hop: SimTime,
+    idle: SimTime,
+    burst: u32,
+    fingerprint: Vec<u64>,
+}
+
+impl BurstRing {
+    fn new(n: u32, hop: SimTime, idle: SimTime, burst: u32) -> Self {
+        BurstRing {
+            n,
+            hop,
+            idle,
+            burst,
+            fingerprint: vec![0; n as usize],
+        }
+    }
+}
+
+impl Model for BurstRing {
+    type Event = u32; // hops left in the current burst
+
+    fn handle(&mut self, target: LpId, now: SimTime, left: u32, out: &mut Emitter<'_, u32>) {
+        let f = &mut self.fingerprint[target.index()];
+        *f = f
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(now.as_ns() ^ u64::from(left));
+        let next = LpId((target.0 + 1) % self.n);
+        if left > 0 {
+            out.emit(self.hop, next, left - 1);
+        } else if self.idle > SimTime::ZERO {
+            out.emit(self.idle, next, self.burst);
+        } else {
+            out.emit(self.hop, next, self.burst);
+        }
+    }
+}
+
+/// Contiguous-block LP→partition assignment (ring cut into arcs, the
+/// minimum-cut partition for a ring).
+fn block_assignment(n: u32, partitions: usize) -> Vec<u32> {
+    let per = (n as usize).div_ceil(partitions);
+    (0..n as usize).map(|i| (i / per) as u32).collect()
+}
+
+struct Scenario {
+    label: &'static str,
+    n: u32,
+    hop: SimTime,
+    idle: SimTime,
+    burst: u32,
+    tokens: u32,
+    end: SimTime,
+}
+
+/// Dense: 8 tokens hop every window for the whole horizon — every
+/// window executes.
+const DENSE: Scenario = Scenario {
+    label: "dense_ring",
+    n: 64,
+    hop: SimTime::from_ms(1),
+    idle: SimTime::ZERO,
+    burst: 1,
+    tokens: 8,
+    end: SimTime::from_secs(5),
+};
+
+/// Sparse bursty: 4 tokens, 20-hop bursts, then half a second of
+/// silence — ≈96% of windows are empty.
+const SPARSE: Scenario = Scenario {
+    label: "sparse_bursty",
+    n: 64,
+    hop: SimTime::from_ms(1),
+    idle: SimTime::from_ms(500),
+    burst: 20,
+    tokens: 4,
+    end: SimTime::from_secs(20),
+};
+
+impl Scenario {
+    fn model(&self) -> BurstRing {
+        BurstRing::new(self.n, self.hop, self.idle, self.burst)
+    }
+
+    fn shards(&self, partitions: usize) -> Vec<BurstRing> {
+        (0..partitions).map(|_| self.model()).collect()
+    }
+
+    /// Token k starts at LP k·n/tokens with a fresh burst.
+    fn initial(&self) -> Vec<(SimTime, LpId, u32)> {
+        (0..self.tokens)
+            .map(|k| (SimTime::ZERO, LpId(k * self.n / self.tokens), self.burst))
+            .collect()
+    }
+
+    fn window(&self) -> SimTime {
+        self.hop // ring hop latency is the MLL of any contiguous cut
+    }
+}
+
+/// Merge per-shard fingerprints (each LP is touched only on its home
+/// shard, so XOR reconstructs the per-LP values).
+fn merged_fingerprint(shards: &[BurstRing]) -> Vec<u64> {
+    let n = shards[0].fingerprint.len();
+    let mut out = vec![0u64; n];
+    for s in shards {
+        for (o, f) in out.iter_mut().zip(&s.fingerprint) {
+            *o ^= f;
+        }
+    }
+    out
+}
+
+fn run_new(sc: &Scenario, partitions: usize) -> (Vec<BurstRing>, ExecutionStats) {
+    let assignment = block_assignment(sc.n, partitions);
+    run_parallel(
+        sc.shards(partitions),
+        sc.n as usize,
+        &assignment,
+        sc.initial(),
+        sc.end,
+        sc.window(),
+    )
+}
+
+fn run_old(sc: &Scenario, partitions: usize) -> (Vec<BurstRing>, ExecutionStats) {
+    let assignment = block_assignment(sc.n, partitions);
+    run_parallel_locked(
+        sc.shards(partitions),
+        sc.n as usize,
+        &assignment,
+        sc.initial(),
+        sc.end,
+        sc.window(),
+    )
+}
+
+fn bench_scenario(c: &mut Criterion, sc: &Scenario) {
+    let mut group = c.benchmark_group(sc.label);
+    group.sample_size(10);
+    for partitions in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("baseline_locked", partitions), |b| {
+            b.iter(|| run_old(sc, partitions).1.total_events)
+        });
+        group.bench_function(BenchmarkId::new("overhauled", partitions), |b| {
+            b.iter(|| run_new(sc, partitions).1.total_events)
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense(c: &mut Criterion) {
+    bench_scenario(c, &DENSE);
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    bench_scenario(c, &SPARSE);
+}
+
+criterion_group!(benches, bench_dense, bench_sparse);
+
+/// Sequential reference for a scenario: same combined model, one heap.
+fn run_seq(sc: &Scenario) -> (BurstRing, ExecutionStats) {
+    let mut model = sc.model();
+    let stats = run_sequential(&mut model, sc.n as usize, sc.initial(), sc.end);
+    (model, stats)
+}
+
+/// `--smoke`: fast self-checking pass for scripts/check.sh. Asserts the
+/// three-way bit-identity (sequential / baseline / overhauled) on both
+/// scenarios at 1, 2 and 4 partitions, the windowed-stats consistency
+/// invariants, and the ≥5× executed-barrier-round reduction on the
+/// sparse scenario that BENCH_engine.json records.
+fn run_smoke() {
+    for sc in [&DENSE, &SPARSE] {
+        let (seq_model, seq_stats) = run_seq(sc);
+        for partitions in [1usize, 2, 4] {
+            let (old_shards, old) = run_old(sc, partitions);
+            let (new_shards, new) = run_new(sc, partitions);
+
+            // Bit-identity against the sequential reference.
+            let want = &seq_model.fingerprint;
+            assert_eq!(
+                &merged_fingerprint(&old_shards),
+                want,
+                "{} p={partitions}: baseline diverged from sequential",
+                sc.label
+            );
+            assert_eq!(
+                &merged_fingerprint(&new_shards),
+                want,
+                "{} p={partitions}: overhauled executor diverged from sequential",
+                sc.label
+            );
+            assert_eq!(seq_stats.lp_events, old.lp_events);
+            assert_eq!(seq_stats.lp_events, new.lp_events);
+            assert_eq!(seq_stats.total_events, new.total_events);
+
+            // Baseline and overhauled stats agree field-for-field except
+            // the barrier count.
+            assert_eq!(old.bucket_critical, new.bucket_critical);
+            assert_eq!(old.bucket_totals, new.bucket_totals);
+            assert_eq!(old.partition_totals, new.partition_totals);
+            assert_eq!(old.coarse_trace, new.coarse_trace);
+            assert_eq!(old.windows_executed, new.windows_executed);
+            assert_eq!(old.windows_skipped, new.windows_skipped);
+            assert_eq!(old.window_count(), new.window_count());
+
+            // Windowed-stats consistency.
+            let by_bucket: u64 = new.bucket_totals.iter().sum();
+            assert_eq!(by_bucket, new.total_events);
+            assert_eq!(
+                new.windows_executed + new.windows_skipped,
+                new.window_count() as u64
+            );
+            assert_eq!(new.barrier_rounds, 1 + 2 * new.windows_executed);
+            assert_eq!(old.barrier_rounds, 2 * old.window_count() as u64);
+
+            if sc.label == "sparse_bursty" {
+                assert!(
+                    new.barrier_rounds * 5 <= old.barrier_rounds,
+                    "{} p={partitions}: want ≥5× barrier reduction, got {} vs {}",
+                    sc.label,
+                    old.barrier_rounds,
+                    new.barrier_rounds
+                );
+            }
+        }
+    }
+    println!("engine_hotpath smoke checks passed");
+}
+
+/// `--record`: run both executors once per (scenario, partitions) cell,
+/// timing with wall clock, and print the BENCH_engine.json payload.
+fn run_record() {
+    use std::time::Instant;
+    let time_runs = |f: &dyn Fn() -> u64, reps: usize| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let _ = f();
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    };
+    println!("{{");
+    for (i, sc) in [&DENSE, &SPARSE].into_iter().enumerate() {
+        if i > 0 {
+            println!("  ,");
+        }
+        println!("  \"{}\": {{", sc.label);
+        for (j, partitions) in [1usize, 2, 4, 8].into_iter().enumerate() {
+            let (_, old) = run_old(sc, partitions);
+            let (_, new) = run_new(sc, partitions);
+            let old_ms = time_runs(&|| run_old(sc, partitions).1.total_events, 3);
+            let new_ms = time_runs(&|| run_new(sc, partitions).1.total_events, 3);
+            println!(
+                "    \"partitions_{partitions}\": {{ \"baseline_ms\": {old_ms:.2}, \
+                 \"overhauled_ms\": {new_ms:.2}, \"baseline_barrier_rounds\": {}, \
+                 \"overhauled_barrier_rounds\": {}, \"barrier_reduction\": {:.1}, \
+                 \"windows_skipped\": {} }}{}",
+                old.barrier_rounds,
+                new.barrier_rounds,
+                old.barrier_rounds as f64 / new.barrier_rounds as f64,
+                new.windows_skipped,
+                if j < 3 { "," } else { "" }
+            );
+        }
+        println!("  }}");
+    }
+    println!("}}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        run_smoke();
+        return;
+    }
+    if args.iter().any(|a| a == "--record") {
+        run_record();
+        return;
+    }
+    benches();
+}

@@ -7,8 +7,9 @@
 //! per-event cost. This substantiates DESIGN.md's claim that the
 //! *orderings* are robust to the calibration constants.
 
-use massf_bench::HarnessOptions;
+use massf_bench::{HarnessOptions, MeasuredBarriers};
 use massf_core::prelude::*;
+use massf_netsim::NetSimBuilder;
 
 fn main() {
     let opts = HarnessOptions::from_env();
@@ -97,5 +98,66 @@ fn main() {
     println!(
         "\n(HPROF's advantage grows with sync cost and shrinks as event\n\
          processing dominates — but the sign never flips.)"
+    );
+
+    // Measured executor sync cost per mapping: re-run each mapping on
+    // the real parallel executor with the bench-side barrier observer
+    // and put the measured barrier-wait next to the model's
+    // window_count × C(N) term — both the nominal-window version the
+    // cluster model uses and the skip-aware windows_executed × C(N)
+    // that the fast-forward actually pays.
+    let c_n_us = base_model.sync.cost_us(cfg.engines);
+    println!(
+        "\n== Measured executor sync cost ({} partitions, C(N) = {:.1} us) ==",
+        cfg.engines, c_n_us
+    );
+    println!(
+        "{:>8} {:>9} {:>10} {:>9} {:>14} {:>13} {:>13}",
+        "mapping", "rounds", "executed", "skipped", "wait/part [us]", "model [us]", "skip-aware"
+    );
+    for r in &runs {
+        if !r.mapping.achieved_mll_ms.is_finite() {
+            println!("{:>8?} (nothing cut; no sync needed)", r.approach);
+            continue;
+        }
+        let window = SimTime::from_ms_f64(r.mapping.achieved_mll_ms);
+        if window == SimTime::ZERO {
+            println!("{:>8?} (cut has zero MLL; skipped)", r.approach);
+            continue;
+        }
+        let (app, events) = scenario.make_app();
+        let mut builder = NetSimBuilder::new(scenario.net.clone(), scenario.resolver.clone());
+        builder.add_initial_events(events);
+        let observer = MeasuredBarriers::new(cfg.engines);
+        match builder.try_run_parallel_observed(
+            app,
+            duration,
+            window,
+            &r.mapping.partition.assignment,
+            cfg.engines,
+            &observer,
+        ) {
+            Ok(out) => {
+                let waits = &out.stats.barrier_wait_us;
+                let mean = waits.iter().sum::<f64>() / waits.len().max(1) as f64;
+                println!(
+                    "{:>8?} {:>9} {:>10} {:>9} {:>14.1} {:>13.1} {:>13.1}",
+                    r.approach,
+                    out.stats.barrier_rounds,
+                    out.stats.windows_executed,
+                    out.stats.windows_skipped,
+                    mean,
+                    out.stats.window_count() as f64 * c_n_us,
+                    out.stats.windows_executed as f64 * c_n_us,
+                );
+            }
+            Err(e) => println!("{:>8?} run failed: {e}", r.approach),
+        }
+    }
+    println!(
+        "(model = window_count × C(N), the term the cluster model charges;\n\
+         skip-aware = windows_executed × C(N), what the overhauled executor\n\
+         pays after fast-forwarding empty windows. The measured wait column\n\
+         is host scheduling on this container, not TeraGrid sync.)"
     );
 }

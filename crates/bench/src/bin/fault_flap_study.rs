@@ -21,7 +21,7 @@
 //! leak into any number printed here (the `--smoke` mode asserts the
 //! sequential/parallel equality directly).
 
-use massf_bench::HarnessOptions;
+use massf_bench::{HarnessOptions, MeasuredBarriers};
 use massf_core::prelude::*;
 use massf_netsim::{Agent, FaultScript, FaultState, NetSimBuilder, NoApp, ProfileData, SimOutput};
 use massf_routing::{CostMetric, FlatResolver};
@@ -352,7 +352,17 @@ fn main() {
         }
         let mut builder = NetSimBuilder::new_with_faults(net.clone(), faults.clone());
         builder.add_agent(traffic(&hosts, duration, flows, seed));
-        let par = builder.run_parallel(NoApp, duration, SimTime::from_ms_f64(mll), &assignment, 2);
+        let observer = MeasuredBarriers::new(2);
+        let par = builder
+            .try_run_parallel_observed(
+                NoApp,
+                duration,
+                SimTime::from_ms_f64(mll),
+                &assignment,
+                2,
+                &observer,
+            )
+            .expect("smoke window equals the cut MLL, so no lookahead violation is possible");
         assert_eq!(
             par.stats.total_events, faulted.stats.total_events,
             "parallel faulted run diverged from sequential"
@@ -361,7 +371,29 @@ fn main() {
             par.profile, faulted.profile,
             "parallel faulted profile diverged from sequential"
         );
+        // The quiet stretches between fault epochs are exactly what the
+        // executor's empty-window fast-forward is for: the run must skip
+        // barriers, and the observer must have a measurement for every
+        // partition.
+        assert!(
+            par.stats.windows_skipped > 0,
+            "expected idle windows between fault epochs to be fast-forwarded"
+        );
+        assert_eq!(
+            par.stats.barrier_rounds,
+            1 + 2 * par.stats.windows_executed,
+            "barrier rounds must track executed windows only"
+        );
+        assert_eq!(par.stats.barrier_wait_us.len(), 2);
         println!();
+        println!(
+            "parallel smoke: {} windows executed, {} skipped, {} barrier rounds, \
+             mean barrier wait {:.0} us/partition",
+            par.stats.windows_executed,
+            par.stats.windows_skipped,
+            par.stats.barrier_rounds,
+            par.stats.barrier_wait_us.iter().sum::<f64>() / 2.0
+        );
         println!("smoke checks passed");
     }
 }

@@ -411,6 +411,68 @@ pub fn measure_barrier_cost_us(n: usize, rounds: usize) -> f64 {
     elapsed_us / rounds as f64
 }
 
+/// Wall-clock implementation of the engine's
+/// [`massf_engine::BarrierObserver`] hook: accumulates per-partition
+/// time spent blocked in executor barriers. Lives here rather than in
+/// the engine because it reads host wall-clock time, which
+/// deterministic-critical crates must not do (simlint D2); the observer
+/// runs strictly outside the deterministic event path, so measuring
+/// cannot change simulation results.
+///
+/// Each partition thread only ever touches its own slot, so the mutexes
+/// are uncontended — they exist to keep the observer `Sync` without
+/// `unsafe`.
+pub struct MeasuredBarriers {
+    parts: Vec<std::sync::Mutex<BarrierWaitState>>,
+}
+
+#[derive(Default)]
+struct BarrierWaitState {
+    pending: Option<std::time::Instant>,
+    total_ns: u64,
+    waits: u64,
+}
+
+impl MeasuredBarriers {
+    /// An observer for a run with `partitions` partitions.
+    pub fn new(partitions: usize) -> Self {
+        MeasuredBarriers {
+            parts: (0..partitions).map(|_| Default::default()).collect(),
+        }
+    }
+
+    /// Number of barrier waits partition `p` performed.
+    pub fn waits(&self, p: usize) -> u64 {
+        self.parts[p].lock().expect("observer mutex poisoned").waits
+    }
+}
+
+impl massf_engine::BarrierObserver for MeasuredBarriers {
+    fn wait_begin(&self, partition: usize) {
+        let mut s = self.parts[partition]
+            .lock()
+            .expect("observer mutex poisoned");
+        s.pending = Some(std::time::Instant::now());
+    }
+
+    fn wait_end(&self, partition: usize) {
+        let mut s = self.parts[partition]
+            .lock()
+            .expect("observer mutex poisoned");
+        if let Some(t0) = s.pending.take() {
+            s.total_ns += t0.elapsed().as_nanos() as u64;
+            s.waits += 1;
+        }
+    }
+
+    fn waits_us(&self) -> Vec<f64> {
+        self.parts
+            .iter()
+            .map(|m| m.lock().expect("observer mutex poisoned").total_ns as f64 / 1e3)
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -485,6 +547,33 @@ mod tests {
         .expect("harness flags valid");
         assert_eq!(opts.threads, Some(2));
         assert_eq!(rest, vec![s("--smoke"), s("--flaps"), s("12")]);
+    }
+
+    #[test]
+    fn measured_barriers_record_executor_waits() {
+        use massf_engine::{try_run_parallel_observed, Emitter, LpId, Model, SimTime};
+        struct Ring;
+        impl Model for Ring {
+            type Event = ();
+            fn handle(&mut self, t: LpId, _: SimTime, _: (), out: &mut Emitter<'_, ()>) {
+                out.emit(SimTime::from_ms(1), LpId((t.0 + 1) % 2), ());
+            }
+        }
+        let obs = MeasuredBarriers::new(2);
+        let (_, stats) = try_run_parallel_observed(
+            vec![Ring, Ring],
+            2,
+            &[0, 1],
+            vec![(SimTime::ZERO, LpId(0), ())],
+            SimTime::from_ms(20),
+            SimTime::from_ms(1),
+            &obs,
+        )
+        .expect("MLL-sized window cannot violate lookahead");
+        assert_eq!(stats.barrier_wait_us.len(), 2);
+        assert_eq!(obs.waits(0), stats.barrier_rounds);
+        assert_eq!(obs.waits(1), stats.barrier_rounds);
+        assert!(stats.total_barrier_wait_us() > 0.0);
     }
 
     #[test]

@@ -108,28 +108,33 @@ mod tests {
     use massf_engine::SimTime;
 
     fn stats(per_window_max: Vec<u64>, totals: Vec<u64>, total: u64) -> ExecutionStats {
-        // Assemble by hand through the public fields.
+        // Assemble by hand through the public fields. One window per
+        // bucket, so the per-window maxes land one per bucket slot.
         let mut s = dummy();
-        s.per_window_max = per_window_max;
+        s.n_windows = per_window_max.len();
+        s.bucket_critical = per_window_max;
         s.partition_totals = totals;
         s.total_events = total;
         s
     }
 
     fn dummy() -> ExecutionStats {
-        let mut s = ExecutionStats {
+        ExecutionStats {
             lp_events: vec![],
             window: SimTime::from_ms(1),
-            per_window_max: vec![],
-            per_window_total: vec![],
+            n_windows: 0,
+            bucket_critical: vec![],
+            bucket_totals: vec![],
             partition_totals: vec![],
             coarse_trace: vec![],
             windows_per_bucket: 1,
+            windows_executed: 0,
+            windows_skipped: 0,
+            barrier_rounds: 0,
+            barrier_wait_us: vec![],
             end_time: SimTime::from_secs(1),
             total_events: 0,
-        };
-        s.per_window_total = vec![];
-        s
+        }
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! The pre-overhaul parallel executor, preserved as the A/B baseline
+//! for the `engine_hotpath` bench.
+//!
+//! [`run_parallel_locked`] is the executor this crate shipped before the
+//! hot-path overhaul ([`crate::par`]): it acquires a destination-inbox
+//! `Mutex` for **every** cross-partition event, executes a barrier pair
+//! for **every** fixed window — including empty ones — and counts events
+//! into a per-thread `vec![0u64; n_windows]`, making its memory
+//! `O(end_time / window)` per partition. It produces results
+//! bit-identical to [`crate::run_parallel`] and [`crate::run_sequential`]
+//! (same event order, same merged statistics), differing only in
+//! [`crate::ExecutionStats::barrier_rounds`] — which is exactly the cost
+//! the overhaul removes and the bench measures.
+//!
+//! Do not use this outside benchmarks: on sparse schedules it burns a
+//! barrier pair per empty window, and on tiny-window/long-horizon runs
+//! its per-thread window arrays are the allocation blowup the streaming
+//! accumulator was built to avoid.
+
+use crate::event::{EventRecord, LpId, Reverse};
+use crate::model::{seed_events, Emitter, Model};
+use crate::stats::{bucket_layout, ExecutionStats};
+use crate::time::SimTime;
+use parking_lot::Mutex;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+
+/// Pre-overhaul executor: mutex-per-event inboxes, a barrier pair per
+/// window, per-thread `O(n_windows)` counting. Bit-identical results to
+/// [`crate::run_parallel`]; only the synchronization cost differs.
+///
+/// # Panics
+/// Panics if `window` is zero, or if a model emits a cross-partition
+/// event with delay smaller than the window (a lookahead violation).
+pub fn run_parallel_locked<M: Model>(
+    shards: Vec<M>,
+    lp_count: usize,
+    assignment: &[u32],
+    initial: Vec<(SimTime, LpId, M::Event)>,
+    end_time: SimTime,
+    window: SimTime,
+) -> (Vec<M>, ExecutionStats) {
+    assert!(window > SimTime::ZERO, "window must be positive");
+    assert_eq!(assignment.len(), lp_count);
+    let partitions = shards.len();
+    assert!(partitions >= 1);
+    assert!(
+        assignment.iter().all(|&p| (p as usize) < partitions),
+        "assignment references missing partition"
+    );
+
+    let n_windows = end_time.as_ns().div_ceil(window.as_ns()) as usize;
+
+    let mut initial_per_part: Vec<Vec<EventRecord<M::Event>>> =
+        (0..partitions).map(|_| Vec::new()).collect();
+    for ev in seed_events(initial) {
+        let p = assignment[ev.target.index()] as usize;
+        initial_per_part[p].push(ev);
+    }
+
+    let inboxes: Vec<Mutex<Vec<EventRecord<M::Event>>>> =
+        (0..partitions).map(|_| Mutex::new(Vec::new())).collect();
+    let barrier = Barrier::new(partitions);
+    let poison = AtomicBool::new(false);
+
+    struct ThreadResult<M> {
+        shard: M,
+        lp_events: Vec<u64>,
+        window_events: Vec<u64>, // this partition's count per window
+        total: u64,
+    }
+
+    let results: Vec<ThreadResult<M>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(partitions);
+        for (p, (shard, init)) in shards.into_iter().zip(initial_per_part).enumerate() {
+            let inboxes = &inboxes;
+            let barrier = &barrier;
+            let poison = &poison;
+            handles.push(scope.spawn(move || {
+                let mut shard = shard;
+                let mut heap: BinaryHeap<Reverse<M::Event>> =
+                    init.into_iter().map(Reverse).collect();
+                let mut counters = vec![0u32; lp_count];
+                let mut out_buf: Vec<EventRecord<M::Event>> = Vec::new();
+                let mut lp_events = vec![0u64; lp_count];
+                let mut window_events = vec![0u64; n_windows];
+                let mut total = 0u64;
+
+                #[allow(clippy::needless_range_loop)] // w drives both the
+                // window-end arithmetic and the per-window counter slot
+                for w in 0..n_windows {
+                    let window_end = (window * (w as u64 + 1)).min(end_time);
+                    while let Some(Reverse(head)) = heap.peek() {
+                        if head.time >= window_end {
+                            break;
+                        }
+                        let Reverse(ev) = heap.pop().expect("peeked");
+                        let lp = ev.target;
+                        debug_assert_eq!(assignment[lp.index()] as usize, p);
+                        {
+                            let mut emitter = Emitter::new(
+                                ev.time,
+                                lp.0,
+                                &mut counters[lp.index()],
+                                &mut out_buf,
+                            );
+                            shard.handle(lp, ev.time, ev.payload, &mut emitter);
+                        }
+                        lp_events[lp.index()] += 1;
+                        window_events[w] += 1;
+                        total += 1;
+                        for new_ev in out_buf.drain(..) {
+                            debug_assert!(new_ev.time >= ev.time);
+                            let dest = assignment[new_ev.target.index()] as usize;
+                            if dest == p {
+                                heap.push(Reverse(new_ev));
+                            } else {
+                                if new_ev.time < window_end {
+                                    poison.store(true, Ordering::Relaxed);
+                                }
+                                // The per-event lock the overhaul removed.
+                                inboxes[dest].lock().push(new_ev);
+                            }
+                        }
+                    }
+                    barrier.wait();
+                    if poison.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    for ev in inboxes[p].lock().drain(..) {
+                        heap.push(Reverse(ev));
+                    }
+                    barrier.wait();
+                }
+                ThreadResult {
+                    shard,
+                    lp_events,
+                    window_events,
+                    total,
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition thread panicked"))
+            .collect()
+    });
+    assert!(
+        !poison.load(Ordering::Relaxed),
+        "lookahead violation: a cross-partition event was scheduled inside \
+         the current window (window exceeds the partition's MLL?)"
+    );
+
+    // Merge into the bucketed stats representation so baseline and
+    // overhauled runs are field-for-field comparable; only
+    // `barrier_rounds` legitimately differs.
+    let mut stats = ExecutionStats::new(lp_count);
+    stats.window = window;
+    stats.end_time = end_time;
+    stats.n_windows = n_windows;
+    let (windows_per_bucket, buckets) = bucket_layout(n_windows);
+    stats.windows_per_bucket = windows_per_bucket;
+    stats.bucket_critical = vec![0; buckets];
+    stats.bucket_totals = vec![0; buckets];
+    stats.partition_totals = vec![0; partitions];
+    stats.coarse_trace = vec![vec![0; partitions]; buckets];
+    // This executor synchronizes every window whether or not it holds
+    // events; `windows_executed`/`windows_skipped` keep their portable
+    // meaning (non-empty vs empty windows) so they match the overhauled
+    // executor bit-for-bit, and `barrier_rounds` carries the cost.
+    stats.barrier_rounds = 2 * n_windows as u64;
+    let mut shards_out = Vec::with_capacity(partitions);
+    let mut per_window: Vec<&[u64]> = Vec::with_capacity(partitions);
+    for (p, r) in results.iter().enumerate() {
+        for (dst, src) in stats.lp_events.iter_mut().zip(&r.lp_events) {
+            *dst += src;
+        }
+        stats.total_events += r.total;
+        stats.partition_totals[p] = r.window_events.iter().sum();
+        per_window.push(&r.window_events);
+    }
+    for w in 0..n_windows {
+        let b = w / windows_per_bucket;
+        let mut win_total = 0u64;
+        let mut win_max = 0u64;
+        for (p, counts) in per_window.iter().enumerate() {
+            let c = counts[w];
+            win_total += c;
+            win_max = win_max.max(c);
+            stats.coarse_trace[b][p] += c;
+        }
+        if win_total > 0 {
+            stats.bucket_critical[b] += win_max;
+            stats.bucket_totals[b] += win_total;
+            stats.windows_executed += 1;
+        }
+    }
+    stats.windows_skipped = n_windows as u64 - stats.windows_executed;
+    drop(per_window);
+    for r in results {
+        shards_out.push(r.shard);
+    }
+    (shards_out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Token ring identical to the one in `par::tests`.
+    struct RingShard {
+        n: u32,
+        hop: SimTime,
+        visits: Vec<(u32, u64)>,
+    }
+
+    impl Model for RingShard {
+        type Event = u8;
+        fn handle(&mut self, target: LpId, now: SimTime, _ev: u8, out: &mut Emitter<'_, u8>) {
+            self.visits.push((target.0, now.as_ns()));
+            out.emit(self.hop, LpId((target.0 + 1) % self.n), 0);
+        }
+    }
+
+    fn ring_shards(n: u32, parts: usize, hop: SimTime) -> Vec<RingShard> {
+        (0..parts)
+            .map(|_| RingShard {
+                n,
+                hop,
+                visits: vec![],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn baseline_matches_overhauled_executor_bit_for_bit() {
+        let n = 6u32;
+        let hop = SimTime::from_ms(2);
+        let end = SimTime::from_ms(50);
+        let assignment = [0u32, 0, 1, 1, 2, 2];
+        let init = vec![(SimTime::ZERO, LpId(0), 0u8)];
+
+        let (old_shards, old) = run_parallel_locked(
+            ring_shards(n, 3, hop),
+            n as usize,
+            &assignment,
+            init.clone(),
+            end,
+            hop,
+        );
+        let (new_shards, new) = crate::run_parallel(
+            ring_shards(n, 3, hop),
+            n as usize,
+            &assignment,
+            init,
+            end,
+            hop,
+        );
+
+        let old_visits: Vec<_> = old_shards.into_iter().map(|s| s.visits).collect();
+        let new_visits: Vec<_> = new_shards.into_iter().map(|s| s.visits).collect();
+        assert_eq!(old_visits, new_visits);
+        assert_eq!(old.lp_events, new.lp_events);
+        assert_eq!(old.total_events, new.total_events);
+        assert_eq!(old.bucket_critical, new.bucket_critical);
+        assert_eq!(old.bucket_totals, new.bucket_totals);
+        assert_eq!(old.partition_totals, new.partition_totals);
+        assert_eq!(old.coarse_trace, new.coarse_trace);
+        assert_eq!(old.windows_executed, new.windows_executed);
+        assert_eq!(old.windows_skipped, new.windows_skipped);
+        // The one legitimate difference: a dense ring executes every
+        // window, so here the counts are close — the baseline pays two
+        // barriers per window, the overhaul one initial rendezvous plus
+        // two per executed window.
+        assert_eq!(old.barrier_rounds, 2 * old.window_count() as u64);
+        assert_eq!(new.barrier_rounds, 1 + 2 * new.windows_executed);
+    }
+
+    #[test]
+    fn baseline_pays_barriers_for_empty_windows() {
+        // One event at t=0, then silence for the rest of a 1000-window
+        // horizon: the baseline still runs 2000 barrier rounds.
+        struct OneShot;
+        impl Model for OneShot {
+            type Event = ();
+            fn handle(&mut self, _: LpId, _: SimTime, _: (), _: &mut Emitter<'_, ()>) {}
+        }
+        let (_, stats) = run_parallel_locked(
+            vec![OneShot, OneShot],
+            2,
+            &[0, 1],
+            vec![(SimTime::ZERO, LpId(0), ())],
+            SimTime::from_secs(1),
+            SimTime::from_ms(1),
+        );
+        assert_eq!(stats.total_events, 1);
+        assert_eq!(stats.windows_executed, 1);
+        assert_eq!(stats.windows_skipped, 999);
+        assert_eq!(stats.barrier_rounds, 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead violation")]
+    fn baseline_still_detects_lookahead_violations() {
+        let n = 2u32;
+        let hop = SimTime::from_ms(1);
+        run_parallel_locked(
+            ring_shards(n, 2, hop),
+            n as usize,
+            &[0, 1],
+            vec![(SimTime::ZERO, LpId(0), 0)],
+            SimTime::from_ms(10),
+            SimTime::from_ms(2),
+        );
+    }
+}

@@ -19,9 +19,14 @@
 //!   executor; the windowed variant additionally attributes events to
 //!   partitions and windows, producing the per-window load traces that
 //!   drive the paper's evaluation metrics.
-//! * [`run_parallel`] — real multi-threaded barrier-windowed executor
-//!   (one thread per partition), exchanging cross-partition events at
-//!   window boundaries.
+//! * [`run_parallel`] / [`try_run_parallel`] — real multi-threaded
+//!   barrier-windowed executor (one thread per partition) with lock-free
+//!   per-pair outbox exchange and empty-window fast-forward; the `try_`
+//!   form returns a structured [`MassfError::LookaheadViolation`]
+//!   instead of panicking, and [`try_run_parallel_observed`] wraps every
+//!   barrier in a [`BarrierObserver`] for bench-side sync-cost
+//!   measurement. The pre-overhaul executor survives as
+//!   [`baseline::run_parallel_locked`] for A/B benchmarking.
 //! * [`synccost`] — the TeraGrid cluster synchronization-cost model of
 //!   the paper's Figure 5, plus a live barrier-cost measurement.
 //!
@@ -33,6 +38,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 pub mod event;
 pub mod model;
 pub mod par;
@@ -42,9 +48,12 @@ pub mod synccost;
 pub mod time;
 
 pub use event::{EventRecord, LpId};
+pub use massf_topology::MassfError;
 pub use model::{Emitter, Model};
-pub use par::run_parallel;
+pub use par::{
+    run_parallel, try_run_parallel, try_run_parallel_observed, BarrierObserver, NoopBarrierObserver,
+};
 pub use seq::{run_sequential, run_sequential_windowed};
-pub use stats::ExecutionStats;
+pub use stats::{ExecutionStats, TRACE_BUCKETS};
 pub use synccost::SyncCostModel;
 pub use time::SimTime;

@@ -7,16 +7,108 @@
 //! for other partitions are buffered and exchanged at the global barrier
 //! that ends the window. Conservative correctness requires every
 //! cross-partition event to arrive in a *later* window, which holds by
-//! construction when `window ≤ MLL`; the executor asserts it.
+//! construction when `window ≤ MLL`; the executor checks it and returns
+//! [`MassfError::LookaheadViolation`] otherwise.
+//!
+//! # Hot-path design
+//!
+//! The per-event path acquires **no locks**. Cross-partition events go
+//! into a `partitions × partitions` mailbox matrix: during a window,
+//! partition *p* appends to its private row of per-destination buffers
+//! (plain `Vec` pushes). At the window-end barrier each sender swaps its
+//! non-empty buffers into per-pair exchange slots — one uncontended
+//! mutex acquisition per *pair per window*, never per event — and each
+//! receiver drains its column in fixed sender-index order. The swap
+//! ping-pongs the two buffers of every pair, so allocations are recycled
+//! across windows. (The mutex is only a `mem::swap` rendezvous; by the
+//! barrier protocol the sender and receiver never touch a slot
+//! concurrently. `parking_lot`'s uncontended lock is a single CAS.)
+//!
+//! Determinism does not depend on drain order — heaps order events by
+//! `(time, tag)` — but the fixed order makes the execution schedule
+//! itself reproducible.
+//!
+//! **Empty-window fast-forward**: after the exchange, every partition
+//! publishes its next local event time into a per-partition slot; all
+//! partitions then compute the same global minimum and jump virtual time
+//! directly to the window containing that event. This is conservatively
+//! exact: at the barrier *all* in-flight events have been exchanged, so
+//! the global minimum over partition heaps is the true next event time
+//! of the whole simulation, and every window before it is empty. Long
+//! idle stretches (fault epochs, TCP RTO backoff) collapse from
+//! thousands of barrier pairs to one. Relaxed atomics suffice for the
+//! published times because `Barrier::wait` establishes happens-before
+//! between everything written before the barrier and everything read
+//! after it.
+//!
+//! Statistics are streamed into `TRACE_BUCKETS`-bounded arrays by
+//! partition 0 between the two barriers of each executed window (see
+//! [`crate::stats`]); nothing is sized `O(end_time / window)`.
+//!
+//! The pre-overhaul executor (mutex per cross-partition event, a
+//! barrier pair for every window) is preserved in [`crate::baseline`]
+//! as the A/B comparison target for the `engine_hotpath` bench.
 
 use crate::event::{EventRecord, LpId, Reverse};
 use crate::model::{seed_events, Emitter, Model};
-use crate::stats::ExecutionStats;
+use crate::stats::{bucket_layout, ExecutionStats};
 use crate::time::SimTime;
+use massf_topology::MassfError;
 use parking_lot::Mutex;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
+
+/// Hook for measuring wall-clock barrier-wait time from *outside* the
+/// engine. The engine itself never reads host clocks (the simlint
+/// wall-clock gate); the bench crate implements this trait with
+/// `Instant`-based timing and passes it into
+/// [`try_run_parallel_observed`]. The observer is invoked around every
+/// `Barrier::wait` — outside the deterministic event path, so it cannot
+/// affect simulation results.
+pub trait BarrierObserver: Sync {
+    /// Called by partition `p`'s thread immediately before it blocks on
+    /// a barrier.
+    fn wait_begin(&self, _partition: usize) {}
+    /// Called immediately after the barrier releases the thread.
+    fn wait_end(&self, _partition: usize) {}
+    /// Total measured wait per partition, microseconds. Collected into
+    /// [`ExecutionStats::barrier_wait_us`] after the run.
+    fn waits_us(&self) -> Vec<f64> {
+        Vec::new()
+    }
+}
+
+/// The default observer: no measurement, zero overhead.
+pub struct NoopBarrierObserver;
+
+impl BarrierObserver for NoopBarrierObserver {}
+
+/// Sentinel for "my heap is empty" in the published next-event times.
+const IDLE: u64 = u64::MAX;
+
+/// Windowed aggregates reduced by partition 0; everything is bounded by
+/// `TRACE_BUCKETS`, never by the window count.
+struct WindowStats {
+    bucket_critical: Vec<u64>,
+    bucket_totals: Vec<u64>,
+    partition_totals: Vec<u64>,
+    coarse_trace: Vec<Vec<u64>>,
+    windows_per_bucket: usize,
+    windows_executed: u64,
+    barrier_rounds: u64,
+}
+
+struct ThreadResult<M> {
+    shard: M,
+    lp_events: Vec<u64>,
+    total: u64,
+    /// Earliest cross-partition event time (ns) this partition emitted
+    /// inside the current window, if any — a lookahead violation.
+    violation: Option<u64>,
+    /// `Some` only for partition 0, which performs the reduction.
+    windowed: Option<WindowStats>,
+}
 
 /// Run `shards[p]` as partition `p`, one thread each, until `end_time`.
 ///
@@ -26,19 +118,48 @@ use std::sync::Barrier;
 /// bit-identical to [`crate::run_sequential`] with an equivalent
 /// combined model.
 ///
-/// Returns the shards (with their final state) and merged statistics.
+/// Returns the shards (with their final state) and merged statistics,
+/// or [`MassfError::LookaheadViolation`] if a model emitted a
+/// cross-partition event with delay smaller than the window. On
+/// violation all partition threads shut down together at the next
+/// barrier and the error reports the earliest offending event.
 ///
 /// # Panics
-/// Panics if `window` is zero, or if a model emits a cross-partition
-/// event with delay smaller than the window (a lookahead violation).
-pub fn run_parallel<M: Model>(
+/// Panics if `window` is zero or the assignment is inconsistent with
+/// `lp_count` / the shard count (caller bugs, not runtime conditions).
+pub fn try_run_parallel<M: Model>(
     shards: Vec<M>,
     lp_count: usize,
     assignment: &[u32],
     initial: Vec<(SimTime, LpId, M::Event)>,
     end_time: SimTime,
     window: SimTime,
-) -> (Vec<M>, ExecutionStats) {
+) -> Result<(Vec<M>, ExecutionStats), MassfError> {
+    try_run_parallel_observed(
+        shards,
+        lp_count,
+        assignment,
+        initial,
+        end_time,
+        window,
+        &NoopBarrierObserver,
+    )
+}
+
+/// [`try_run_parallel`] with a [`BarrierObserver`] wrapped around every
+/// barrier wait, for wall-clock sync-cost measurement from the bench
+/// layer. `observer.waits_us()` lands in
+/// [`ExecutionStats::barrier_wait_us`].
+#[allow(clippy::too_many_arguments)] // mirrors try_run_parallel + the observer
+pub fn try_run_parallel_observed<M: Model, O: BarrierObserver>(
+    shards: Vec<M>,
+    lp_count: usize,
+    assignment: &[u32],
+    initial: Vec<(SimTime, LpId, M::Event)>,
+    end_time: SimTime,
+    window: SimTime,
+    observer: &O,
+) -> Result<(Vec<M>, ExecutionStats), MassfError> {
     assert!(window > SimTime::ZERO, "window must be positive");
     assert_eq!(assignment.len(), lp_count);
     let partitions = shards.len();
@@ -49,6 +170,7 @@ pub fn run_parallel<M: Model>(
     );
 
     let n_windows = end_time.as_ns().div_ceil(window.as_ns()) as usize;
+    let end_ns = end_time.as_ns();
 
     // Route seeded initial events to their home partitions.
     let mut initial_per_part: Vec<Vec<EventRecord<M::Event>>> =
@@ -58,26 +180,31 @@ pub fn run_parallel<M: Model>(
         initial_per_part[p].push(ev);
     }
 
-    let inboxes: Vec<Mutex<Vec<EventRecord<M::Event>>>> =
-        (0..partitions).map(|_| Mutex::new(Vec::new())).collect();
+    // The mailbox matrix, row-major: slot p * partitions + q carries
+    // events from sender p to receiver q. Each mutex is a swap
+    // rendezvous touched once per pair per executed window.
+    let exchange: Vec<Mutex<Vec<EventRecord<M::Event>>>> = (0..partitions * partitions)
+        .map(|_| Mutex::new(Vec::new()))
+        .collect();
+    // Per-partition published state, read by everyone after a barrier:
+    // the next local event time (fast-forward input) and the event count
+    // of the window just executed (stats-reduction input).
+    let next_times: Vec<AtomicU64> = (0..partitions).map(|_| AtomicU64::new(IDLE)).collect();
+    let win_counts: Vec<AtomicU64> = (0..partitions).map(|_| AtomicU64::new(0)).collect();
     let barrier = Barrier::new(partitions);
     // A thread must never unilaterally panic between barriers — its
     // peers would block in `Barrier::wait` forever. Lookahead
     // violations instead raise this flag; all threads observe it at the
-    // next barrier and shut down together, and the parent reports.
+    // next barrier and shut down together, each reporting its earliest
+    // offending event time.
     let poison = AtomicBool::new(false);
-
-    struct ThreadResult<M> {
-        shard: M,
-        lp_events: Vec<u64>,
-        window_events: Vec<u64>, // this partition's count per window
-        total: u64,
-    }
 
     let results: Vec<ThreadResult<M>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(partitions);
         for (p, (shard, init)) in shards.into_iter().zip(initial_per_part).enumerate() {
-            let inboxes = &inboxes;
+            let exchange = &exchange;
+            let next_times = &next_times;
+            let win_counts = &win_counts;
             let barrier = &barrier;
             let poison = &poison;
             handles.push(scope.spawn(move || {
@@ -86,15 +213,54 @@ pub fn run_parallel<M: Model>(
                     init.into_iter().map(Reverse).collect();
                 let mut counters = vec![0u32; lp_count];
                 let mut out_buf: Vec<EventRecord<M::Event>> = Vec::new();
+                // Private per-destination rows; swapped (never moved)
+                // into the exchange slots, so capacity is recycled.
+                let mut out_rows: Vec<Vec<EventRecord<M::Event>>> =
+                    (0..partitions).map(|_| Vec::new()).collect();
                 let mut lp_events = vec![0u64; lp_count];
-                let mut window_events = vec![0u64; n_windows];
                 let mut total = 0u64;
+                let mut violation: Option<u64> = None;
+                let mut windowed = (p == 0).then(|| {
+                    let (windows_per_bucket, buckets) = bucket_layout(n_windows);
+                    WindowStats {
+                        bucket_critical: vec![0; buckets],
+                        bucket_totals: vec![0; buckets],
+                        partition_totals: vec![0; partitions],
+                        coarse_trace: vec![vec![0; partitions]; buckets],
+                        windows_per_bucket,
+                        windows_executed: 0,
+                        barrier_rounds: 1, // the initial publish barrier
+                    }
+                });
 
-                #[allow(clippy::needless_range_loop)] // w drives both the
-                // window-end arithmetic and the per-window counter slot
-                for w in 0..n_windows {
+                // Publish the initial next-event time, then rendezvous so
+                // every partition computes the first window from complete
+                // information.
+                let next = heap.peek().map_or(IDLE, |Reverse(ev)| ev.time.as_ns());
+                next_times[p].store(next, Ordering::Relaxed);
+                observer.wait_begin(p);
+                barrier.wait();
+                observer.wait_end(p);
+
+                loop {
+                    // Every partition computes the same global minimum
+                    // from the same published values (happens-before via
+                    // the barrier), so all take the same branch.
+                    let global_min = next_times
+                        .iter()
+                        .map(|t| t.load(Ordering::Relaxed))
+                        .min()
+                        .unwrap_or(IDLE);
+                    if global_min >= end_ns {
+                        break;
+                    }
+                    // Fast-forward: jump straight to the window holding
+                    // the next event anywhere in the simulation.
+                    let w = (global_min / window.as_ns()) as usize;
                     let window_end = (window * (w as u64 + 1)).min(end_time);
+
                     // Process this window's local events.
+                    let mut count = 0u64;
                     while let Some(Reverse(head)) = heap.peek() {
                         if head.time >= window_end {
                             break;
@@ -112,8 +278,7 @@ pub fn run_parallel<M: Model>(
                             shard.handle(lp, ev.time, ev.payload, &mut emitter);
                         }
                         lp_events[lp.index()] += 1;
-                        window_events[w] += 1;
-                        total += 1;
+                        count += 1;
                         for new_ev in out_buf.drain(..) {
                             debug_assert!(new_ev.time >= ev.time);
                             let dest = assignment[new_ev.target.index()] as usize;
@@ -122,34 +287,92 @@ pub fn run_parallel<M: Model>(
                             } else {
                                 if new_ev.time < window_end {
                                     // Lookahead violation (window exceeds
-                                    // the MLL). Flag it; everyone aborts
-                                    // together at the barrier.
+                                    // the MLL). Record the earliest and
+                                    // flag it; everyone aborts together
+                                    // at the barrier.
+                                    let t = new_ev.time.as_ns();
+                                    violation = Some(violation.map_or(t, |prev| prev.min(t)));
                                     poison.store(true, Ordering::Relaxed);
                                 }
-                                inboxes[dest].lock().push(new_ev);
+                                out_rows[dest].push(new_ev);
                             }
                         }
                     }
-                    // All sends for this window complete.
+                    total += count;
+                    win_counts[p].store(count, Ordering::Relaxed);
+                    // Publish outboxes: swap each non-empty row into its
+                    // exchange slot. Uncontended by protocol — receivers
+                    // only touch the slot after the barrier.
+                    for (dest, row) in out_rows.iter_mut().enumerate() {
+                        if !row.is_empty() {
+                            std::mem::swap(&mut *exchange[p * partitions + dest].lock(), row);
+                        }
+                    }
+                    // All sends for window `w` complete.
+                    observer.wait_begin(p);
                     barrier.wait();
+                    observer.wait_end(p);
                     if poison.load(Ordering::Relaxed) {
                         // Coordinated shutdown: every thread sees the
                         // flag after the same barrier and returns, so no
                         // peer is left blocking.
                         break;
                     }
-                    for ev in inboxes[p].lock().drain(..) {
-                        heap.push(Reverse(ev));
+                    // Reduce this window's counts into the bucketed
+                    // stats (partition 0 only; peers are draining their
+                    // columns meanwhile, which never touches
+                    // `win_counts`).
+                    if let Some(ws) = windowed.as_mut() {
+                        let b = w / ws.windows_per_bucket;
+                        let mut win_total = 0u64;
+                        let mut win_max = 0u64;
+                        for (q, c) in win_counts.iter().enumerate() {
+                            let c = c.load(Ordering::Relaxed);
+                            win_total += c;
+                            win_max = win_max.max(c);
+                            ws.partition_totals[q] += c;
+                            ws.coarse_trace[b][q] += c;
+                        }
+                        ws.bucket_critical[b] += win_max;
+                        ws.bucket_totals[b] += win_total;
+                        // Fast-forward chose `w` because it holds the
+                        // globally next event, so the window is never
+                        // empty.
+                        debug_assert!(win_total > 0, "executed window must hold events");
+                        ws.windows_executed += 1;
+                        ws.barrier_rounds += 2;
                     }
-                    // Nobody may start sending into the next window until
-                    // every partition drained its inbox.
+                    // Drain my column in fixed sender-index order.
+                    for q in 0..partitions {
+                        if q == p {
+                            continue;
+                        }
+                        let mut slot = exchange[q * partitions + p].lock();
+                        for ev in slot.drain(..) {
+                            debug_assert!(ev.time >= window_end, "lookahead-safe arrival");
+                            heap.push(Reverse(ev));
+                        }
+                    }
+                    // Publish my next local event time for the
+                    // fast-forward decision. Every in-flight event has
+                    // been exchanged, so the global min over these is
+                    // exact — and ≥ window_end, so virtual time strictly
+                    // advances.
+                    let next = heap.peek().map_or(IDLE, |Reverse(ev)| ev.time.as_ns());
+                    next_times[p].store(next, Ordering::Relaxed);
+                    // Nobody may compute the next window (or start
+                    // sending into it) until every partition has drained
+                    // and published.
+                    observer.wait_begin(p);
                     barrier.wait();
+                    observer.wait_end(p);
                 }
                 ThreadResult {
                     shard,
                     lp_events,
-                    window_events,
                     total,
+                    violation,
+                    windowed,
                 }
             }));
         }
@@ -158,37 +381,73 @@ pub fn run_parallel<M: Model>(
             .map(|h| h.join().expect("partition thread panicked"))
             .collect()
     });
-    assert!(
-        !poison.load(Ordering::Relaxed),
-        "lookahead violation: a cross-partition event was scheduled inside \
-         the current window (window exceeds the partition's MLL?)"
-    );
+
+    // Abort path: report the earliest violation across partitions
+    // (deterministic — every thread processed the same window set before
+    // the coordinated shutdown).
+    if let Some((event_time_ns, partition)) = results
+        .iter()
+        .enumerate()
+        .filter_map(|(p, r)| r.violation.map(|t| (t, p)))
+        .min()
+    {
+        let partition = u32::try_from(partition).expect("partition count fits in u32");
+        return Err(MassfError::LookaheadViolation {
+            partition,
+            event_time_ns,
+            window_ns: window.as_ns(),
+        });
+    }
 
     let mut stats = ExecutionStats::new(lp_count);
     stats.window = window;
     stats.end_time = end_time;
-    let windows_per_bucket = n_windows.div_ceil(crate::stats::TRACE_BUCKETS).max(1);
-    let buckets = n_windows.div_ceil(windows_per_bucket);
-    stats.per_window_max = vec![0; n_windows];
-    stats.per_window_total = vec![0; n_windows];
-    stats.partition_totals = vec![0; partitions];
-    stats.coarse_trace = vec![vec![0; partitions]; buckets];
-    stats.windows_per_bucket = windows_per_bucket;
+    stats.barrier_wait_us = observer.waits_us();
     let mut shards_out = Vec::with_capacity(partitions);
-    for (p, r) in results.into_iter().enumerate() {
+    for r in results {
         for (dst, src) in stats.lp_events.iter_mut().zip(&r.lp_events) {
             *dst += src;
         }
-        for (w, &c) in r.window_events.iter().enumerate() {
-            stats.per_window_max[w] = stats.per_window_max[w].max(c);
-            stats.per_window_total[w] += c;
-            stats.partition_totals[p] += c;
-            stats.coarse_trace[w / windows_per_bucket][p] += c;
-        }
         stats.total_events += r.total;
+        if let Some(ws) = r.windowed {
+            stats.n_windows = n_windows;
+            stats.bucket_critical = ws.bucket_critical;
+            stats.bucket_totals = ws.bucket_totals;
+            stats.partition_totals = ws.partition_totals;
+            stats.coarse_trace = ws.coarse_trace;
+            stats.windows_per_bucket = ws.windows_per_bucket;
+            stats.windows_executed = ws.windows_executed;
+            stats.windows_skipped = n_windows as u64 - ws.windows_executed;
+            stats.barrier_rounds = ws.barrier_rounds;
+        }
         shards_out.push(r.shard);
     }
-    (shards_out, stats)
+    Ok((shards_out, stats))
+}
+
+/// Panicking facade over [`try_run_parallel`], for callers that treat a
+/// lookahead violation as a caller bug (window chosen above the MLL).
+///
+/// # Panics
+/// Panics if `window` is zero, or with the [`MassfError`] display (a
+/// "lookahead violation: …" message) if a model emits a cross-partition
+/// event with delay smaller than the window.
+pub fn run_parallel<M: Model>(
+    shards: Vec<M>,
+    lp_count: usize,
+    assignment: &[u32],
+    initial: Vec<(SimTime, LpId, M::Event)>,
+    end_time: SimTime,
+    window: SimTime,
+) -> (Vec<M>, ExecutionStats) {
+    match try_run_parallel(shards, lp_count, assignment, initial, end_time, window) {
+        Ok(out) => out,
+        // Deliberate facade: preserves the pre-overhaul panicking contract
+        // for callers that pick the window from the achieved MLL, where a
+        // violation is a programming error.
+        // simlint: allow(unwrap-audit) -- panicking facade over try_run_parallel
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +456,7 @@ mod tests {
 
     /// Token ring over n LPs with 1 ms hops; each shard records visits to
     /// its own LPs (handlers touch only target-LP state).
+    #[derive(Debug)]
     struct RingShard {
         n: u32,
         hop: SimTime,
@@ -271,11 +531,16 @@ mod tests {
             SimTime::from_ms(10),
             hop,
         );
-        let counted: u64 = stats.per_window_total.iter().sum();
+        let counted: u64 = stats.bucket_totals.iter().sum();
         assert_eq!(counted, stats.total_events);
         let by_partition: u64 = stats.partition_totals.iter().sum();
         assert_eq!(by_partition, stats.total_events);
         assert_eq!(stats.window_count(), 10);
+        // A dense ring fills every window: nothing skipped, a barrier
+        // pair per window plus the initial publish rendezvous.
+        assert_eq!(stats.windows_executed, 10);
+        assert_eq!(stats.windows_skipped, 0);
+        assert_eq!(stats.barrier_rounds, 1 + 2 * 10);
     }
 
     #[test]
@@ -322,6 +587,32 @@ mod tests {
     }
 
     #[test]
+    fn lookahead_violation_is_structured_and_earliest() {
+        let n = 2u32;
+        let hop = SimTime::from_ms(1);
+        let err = try_run_parallel(
+            ring_shards(n, 2, hop),
+            n as usize,
+            &[0, 1],
+            vec![(SimTime::ZERO, LpId(0), 0)],
+            SimTime::from_ms(10),
+            SimTime::from_ms(2),
+        )
+        .expect_err("1 ms hops inside a 2 ms window must violate lookahead");
+        // The t=0 event on LP0 (partition 0) emits the first violating
+        // cross event, landing at t=1 ms inside window [0, 2) ms.
+        assert_eq!(
+            err,
+            MassfError::LookaheadViolation {
+                partition: 0,
+                event_time_ns: SimTime::from_ms(1).as_ns(),
+                window_ns: SimTime::from_ms(2).as_ns(),
+            }
+        );
+        assert!(err.to_string().starts_with("lookahead violation"));
+    }
+
+    #[test]
     fn events_beyond_end_time_not_processed() {
         let n = 2u32;
         let hop = SimTime::from_ms(3);
@@ -335,5 +626,123 @@ mod tests {
         );
         // Events at t=0,3,6 run; t=9 is beyond end.
         assert_eq!(stats.total_events, 3);
+    }
+
+    /// Two LPs ping-pong a token with a long idle gap between bursts:
+    /// fast-forward must skip the empty windows (barrier count shrinks)
+    /// while the visit log stays bit-identical to sequential.
+    struct BurstShard {
+        gap: SimTime,
+        visits: Vec<(u32, u64)>,
+    }
+
+    impl Model for BurstShard {
+        type Event = u32; // hops remaining in the current burst
+        fn handle(&mut self, target: LpId, now: SimTime, left: u32, out: &mut Emitter<'_, u32>) {
+            self.visits.push((target.0, now.as_ns()));
+            let next = LpId(1 - target.0);
+            if left > 0 {
+                out.emit(SimTime::from_ms(1), next, left - 1);
+            } else {
+                out.emit(self.gap, next, 4); // next burst after the gap
+            }
+        }
+    }
+
+    #[test]
+    fn fast_forward_skips_idle_windows_bit_identically() {
+        let gap = SimTime::from_ms(200);
+        let end = SimTime::from_secs(2);
+        let window = SimTime::from_ms(1);
+        let init = vec![(SimTime::ZERO, LpId(0), 4u32)];
+
+        let mut seq = BurstShard {
+            gap,
+            visits: vec![],
+        };
+        let seq_stats = crate::run_sequential(&mut seq, 2, init.clone(), end);
+
+        let shards = (0..2)
+            .map(|_| BurstShard {
+                gap,
+                visits: vec![],
+            })
+            .collect();
+        let (shards, stats) = run_parallel(shards, 2, &[0, 1], init, end, window);
+
+        let mut merged: Vec<(u32, u64)> = shards.into_iter().flat_map(|s| s.visits).collect();
+        merged.sort_by_key(|&(_, t)| t);
+        assert_eq!(merged, seq.visits);
+        assert_eq!(stats.total_events, seq_stats.total_events);
+
+        // 2000 nominal 1 ms windows, but bursts cover only ~5 ms every
+        // ~204 ms: the executor must skip the idle stretches.
+        assert_eq!(stats.window_count(), 2000);
+        assert!(
+            stats.windows_executed < 100,
+            "only burst windows execute, got {}",
+            stats.windows_executed
+        );
+        assert_eq!(stats.windows_skipped, 2000 - stats.windows_executed);
+        assert_eq!(stats.barrier_rounds, 1 + 2 * stats.windows_executed);
+        // ≥5× fewer barriers than the one-pair-per-window baseline.
+        assert!(stats.barrier_rounds * 5 < 2 * 2000);
+    }
+
+    #[test]
+    fn empty_initial_events_fast_forwards_to_exit() {
+        let (_, stats) = run_parallel(
+            ring_shards(2, 2, SimTime::from_ms(1)),
+            2,
+            &[0, 1],
+            vec![],
+            SimTime::from_secs(10),
+            SimTime::from_ms(1),
+        );
+        assert_eq!(stats.total_events, 0);
+        assert_eq!(stats.windows_executed, 0);
+        assert_eq!(stats.windows_skipped, 10_000);
+        assert_eq!(stats.barrier_rounds, 1, "just the initial rendezvous");
+    }
+
+    /// The observer hooks fire around every barrier and its measurement
+    /// lands in the stats without disturbing results.
+    #[test]
+    fn observer_hooks_fire_and_surface_in_stats() {
+        use std::sync::atomic::AtomicU64 as Counter;
+        struct CountingObserver {
+            begins: Counter,
+            ends: Counter,
+        }
+        impl BarrierObserver for CountingObserver {
+            fn wait_begin(&self, _p: usize) {
+                self.begins.fetch_add(1, Ordering::Relaxed);
+            }
+            fn wait_end(&self, _p: usize) {
+                self.ends.fetch_add(1, Ordering::Relaxed);
+            }
+            fn waits_us(&self) -> Vec<f64> {
+                vec![1.25, 2.5]
+            }
+        }
+        let obs = CountingObserver {
+            begins: Counter::new(0),
+            ends: Counter::new(0),
+        };
+        let (_, stats) = try_run_parallel_observed(
+            ring_shards(4, 2, SimTime::from_ms(1)),
+            4,
+            &[0, 0, 1, 1],
+            vec![(SimTime::ZERO, LpId(0), 0)],
+            SimTime::from_ms(10),
+            SimTime::from_ms(1),
+            &obs,
+        )
+        .expect("no violation");
+        let expected = stats.barrier_rounds * 2; // 2 partitions per round
+        assert_eq!(obs.begins.load(Ordering::Relaxed), expected);
+        assert_eq!(obs.ends.load(Ordering::Relaxed), expected);
+        assert_eq!(stats.barrier_wait_us, vec![1.25, 2.5]);
+        assert!((stats.total_barrier_wait_us() - 3.75).abs() < 1e-12);
     }
 }

@@ -191,10 +191,13 @@ mod tests {
             2,
         );
         assert_eq!(stats.window_count(), 4);
-        assert_eq!(stats.per_window_max, vec![1, 1, 1, 1]);
-        assert_eq!(stats.per_window_total, vec![1, 1, 1, 1]);
+        // 4 windows at 1 window per bucket: buckets mirror windows.
+        assert_eq!(stats.bucket_critical, vec![1, 1, 1, 1]);
+        assert_eq!(stats.bucket_totals, vec![1, 1, 1, 1]);
         assert_eq!(stats.partition_totals, vec![2, 2]);
         assert_eq!(stats.critical_path_events(), 4);
+        assert_eq!(stats.windows_executed, 4);
+        assert_eq!(stats.windows_skipped, 0);
     }
 
     #[test]
@@ -293,7 +296,7 @@ mod trace_tests {
             &[0],
             1,
         );
-        assert_eq!(stats.per_window_total, vec![2, 2]);
+        assert_eq!(stats.bucket_totals, vec![2, 2]);
     }
 
     #[test]

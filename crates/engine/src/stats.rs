@@ -4,21 +4,33 @@
 //! (essentially one per network packet)" per engine node (Section 4.1).
 //! The executors record per-LP totals and, when windowed, per-window
 //! aggregates. Because a fine window (≈ MLL) over a long run can mean
-//! hundreds of thousands of windows, the per-window × per-partition
-//! matrix is **not** materialized; instead the executors stream three
-//! aggregates sufficient for the paper's metrics:
+//! hundreds of millions of windows, **nothing here is sized
+//! `O(n_windows)`**; all per-window aggregates are streamed into at most
+//! [`TRACE_BUCKETS`] buckets plus exact scalar totals:
 //!
-//! * `per_window_max[w]` — the busiest partition's event count in window
-//!   `w` (drives the barrier-synchronized runtime model: every window
-//!   costs `max_p events + sync`),
-//! * `per_window_total[w]` — all events in window `w`,
-//! * `partition_totals[p]` — events per partition (load imbalance), and
-//! * a bucketed per-partition time series (≤ [`TRACE_BUCKETS`] buckets)
-//!   for load-variation plots (the paper's Figure 3).
+//! * `bucket_critical[b]` — Σ over the windows of bucket `b` of the
+//!   busiest partition's event count in that window. Summing the array
+//!   gives the *exact* critical-path event count (every window costs
+//!   `max_p events + sync` on a barrier-synchronized cluster); the
+//!   per-bucket resolution shows where on the timeline the critical
+//!   path concentrates.
+//! * `bucket_totals[b]` — all events in bucket `b` (sums to
+//!   `total_events`).
+//! * `partition_totals[p]` — events per partition (load imbalance).
+//! * `coarse_trace[b][p]` — the bucketed per-partition time series for
+//!   load-variation plots (the paper's Figure 3).
+//!
+//! Window *counts* stay exact as scalars: `n_windows` (the nominal
+//! barrier count: every MLL window of the horizon, which is what the
+//! cluster performance model charges sync cost for), `windows_executed`
+//! (windows that actually contained events — the only ones the
+//! fast-forwarding parallel executor synchronizes for), and
+//! `windows_skipped` (= `n_windows - windows_executed`).
 
 use crate::time::SimTime;
 
-/// Maximum number of buckets kept in the coarse per-partition trace.
+/// Maximum number of buckets kept in any per-window aggregate
+/// (`bucket_critical`, `bucket_totals`, `coarse_trace`).
 pub const TRACE_BUCKETS: usize = 512;
 
 /// Statistics from one simulation run.
@@ -28,10 +40,17 @@ pub struct ExecutionStats {
     pub lp_events: Vec<u64>,
     /// Window length used (zero when not windowed).
     pub window: SimTime,
-    /// Busiest partition's event count, per window.
-    pub per_window_max: Vec<u64>,
-    /// Total events per window.
-    pub per_window_total: Vec<u64>,
+    /// Nominal window count: `ceil(end_time / window)` (zero when not
+    /// windowed). This is the number of barrier rounds a conservative
+    /// cluster without empty-window fast-forward executes, and what the
+    /// cluster performance model charges sync cost for.
+    pub n_windows: usize,
+    /// Σ over the windows of bucket `b` of the busiest partition's event
+    /// count in that window. `bucket_critical.iter().sum()` is the exact
+    /// critical-path event count.
+    pub bucket_critical: Vec<u64>,
+    /// Total events per bucket (sums to `total_events`).
+    pub bucket_totals: Vec<u64>,
     /// Total events per partition.
     pub partition_totals: Vec<u64>,
     /// `coarse_trace[b][p]`: events of partition `p` in bucket `b`
@@ -39,6 +58,21 @@ pub struct ExecutionStats {
     pub coarse_trace: Vec<Vec<u64>>,
     /// Windows per coarse bucket.
     pub windows_per_bucket: usize,
+    /// Windows that contained at least one event. The fast-forwarding
+    /// parallel executor synchronizes only for these; identical between
+    /// sequential-windowed and parallel runs by construction.
+    pub windows_executed: u64,
+    /// Empty windows jumped over (`n_windows - windows_executed`).
+    pub windows_skipped: u64,
+    /// Barrier rounds the executor actually performed (zero for
+    /// sequential runs, which have no barriers).
+    pub barrier_rounds: u64,
+    /// Measured wall-clock barrier-wait time per partition,
+    /// microseconds. Empty unless the run was instrumented with a
+    /// measuring [`crate::par::BarrierObserver`]; the engine itself
+    /// never reads host clocks (simlint D2), so these values come from
+    /// the observer and are *not* deterministic.
+    pub barrier_wait_us: Vec<f64>,
     /// Virtual time at which the run stopped.
     pub end_time: SimTime,
     /// Total events handled.
@@ -50,11 +84,16 @@ impl ExecutionStats {
         ExecutionStats {
             lp_events: vec![0; lp_count],
             window: SimTime::ZERO,
-            per_window_max: Vec::new(),
-            per_window_total: Vec::new(),
+            n_windows: 0,
+            bucket_critical: Vec::new(),
+            bucket_totals: Vec::new(),
             partition_totals: Vec::new(),
             coarse_trace: Vec::new(),
             windows_per_bucket: 1,
+            windows_executed: 0,
+            windows_skipped: 0,
+            barrier_rounds: 0,
+            barrier_wait_us: Vec::new(),
             end_time: SimTime::ZERO,
             total_events: 0,
         }
@@ -72,47 +111,66 @@ impl ExecutionStats {
             .collect()
     }
 
-    /// Number of synchronization windows executed.
+    /// Number of synchronization windows in the horizon (the nominal
+    /// barrier count the cluster model charges for).
     pub fn window_count(&self) -> usize {
-        self.per_window_max.len()
+        self.n_windows
     }
 
     /// Sum over windows of the busiest partition's event count — the
-    /// critical-path event work of a barrier-synchronized run.
+    /// critical-path event work of a barrier-synchronized run. Exact:
+    /// bucketing preserves the sum.
     pub fn critical_path_events(&self) -> u64 {
-        self.per_window_max.iter().sum()
+        self.bucket_critical.iter().sum()
+    }
+
+    /// Total measured barrier-wait time across partitions, microseconds
+    /// (zero unless the run was instrumented).
+    pub fn total_barrier_wait_us(&self) -> f64 {
+        self.barrier_wait_us.iter().sum()
     }
 }
 
 /// Streaming accumulator used by the executors to build windowed stats
-/// without materializing the window × partition matrix.
+/// without materializing anything `O(n_windows)`: memory is
+/// `O(partitions + TRACE_BUCKETS × partitions)` and advancing over an
+/// empty stretch of windows is O(1) (a direct jump, not a per-window
+/// flush loop).
 #[derive(Debug, Clone)]
 pub(crate) struct WindowAccumulator {
-    partitions: usize,
     n_windows: usize,
     windows_per_bucket: usize,
     current_window: usize,
+    current_total: u64,
     current_counts: Vec<u64>,
-    per_window_max: Vec<u64>,
-    per_window_total: Vec<u64>,
+    bucket_critical: Vec<u64>,
+    bucket_totals: Vec<u64>,
     partition_totals: Vec<u64>,
     coarse_trace: Vec<Vec<u64>>,
+    windows_executed: u64,
+}
+
+/// Bucket geometry shared by every windowed-stats producer.
+pub(crate) fn bucket_layout(n_windows: usize) -> (usize, usize) {
+    let windows_per_bucket = n_windows.div_ceil(TRACE_BUCKETS).max(1);
+    let buckets = n_windows.div_ceil(windows_per_bucket);
+    (windows_per_bucket, buckets)
 }
 
 impl WindowAccumulator {
     pub(crate) fn new(partitions: usize, n_windows: usize) -> Self {
-        let windows_per_bucket = n_windows.div_ceil(TRACE_BUCKETS).max(1);
-        let buckets = n_windows.div_ceil(windows_per_bucket);
+        let (windows_per_bucket, buckets) = bucket_layout(n_windows);
         WindowAccumulator {
-            partitions,
             n_windows,
             windows_per_bucket,
             current_window: 0,
+            current_total: 0,
             current_counts: vec![0; partitions],
-            per_window_max: Vec::with_capacity(n_windows),
-            per_window_total: Vec::with_capacity(n_windows),
+            bucket_critical: vec![0; buckets],
+            bucket_totals: vec![0; buckets],
             partition_totals: vec![0; partitions],
             coarse_trace: vec![vec![0; partitions]; buckets],
+            windows_executed: 0,
         }
     }
 
@@ -120,10 +178,14 @@ impl WindowAccumulator {
     /// non-decreasing (guaranteed by time-ordered execution).
     pub(crate) fn record(&mut self, w: usize, p: usize) {
         debug_assert!(w >= self.current_window, "windows must advance");
-        while self.current_window < w {
+        if w != self.current_window {
             self.flush_current();
+            // Direct jump: the skipped windows are empty and contribute
+            // nothing to any aggregate.
+            self.current_window = w;
         }
         self.current_counts[p] += 1;
+        self.current_total += 1;
         self.partition_totals[p] += 1;
         if let Some(bucket) = self.coarse_trace.get_mut(w / self.windows_per_bucket) {
             bucket[p] += 1;
@@ -131,28 +193,36 @@ impl WindowAccumulator {
     }
 
     fn flush_current(&mut self) {
+        if self.current_total == 0 {
+            return;
+        }
         let max = self.current_counts.iter().copied().max().unwrap_or(0);
-        let total = self.current_counts.iter().sum();
-        self.per_window_max.push(max);
-        self.per_window_total.push(total);
+        let b = self.current_window / self.windows_per_bucket;
+        if let Some(slot) = self.bucket_critical.get_mut(b) {
+            *slot += max;
+        }
+        if let Some(slot) = self.bucket_totals.get_mut(b) {
+            *slot += self.current_total;
+        }
+        self.windows_executed += 1;
+        self.current_total = 0;
         for c in self.current_counts.iter_mut() {
             *c = 0;
         }
-        self.current_window += 1;
     }
 
-    /// Finish: flush through `n_windows` and write into `stats`.
+    /// Finish: flush the final window and write into `stats`.
     pub(crate) fn finish(mut self, window: SimTime, stats: &mut ExecutionStats) {
-        while self.current_window < self.n_windows {
-            self.flush_current();
-        }
+        self.flush_current();
         stats.window = window;
-        stats.per_window_max = self.per_window_max;
-        stats.per_window_total = self.per_window_total;
+        stats.n_windows = self.n_windows;
+        stats.bucket_critical = self.bucket_critical;
+        stats.bucket_totals = self.bucket_totals;
         stats.partition_totals = self.partition_totals;
         stats.coarse_trace = self.coarse_trace;
         stats.windows_per_bucket = self.windows_per_bucket;
-        let _ = self.partitions;
+        stats.windows_executed = self.windows_executed;
+        stats.windows_skipped = self.n_windows as u64 - self.windows_executed;
     }
 }
 
@@ -173,11 +243,14 @@ mod tests {
         acc.record(2, 2);
         let mut stats = ExecutionStats::new(0);
         acc.finish(SimTime::from_ms(1), &mut stats);
-        assert_eq!(stats.per_window_max, vec![2, 0, 3, 0]);
-        assert_eq!(stats.per_window_total, vec![3, 0, 3, 0]);
+        // 4 windows, 1 window per bucket: buckets mirror windows here.
+        assert_eq!(stats.bucket_critical, vec![2, 0, 3, 0]);
+        assert_eq!(stats.bucket_totals, vec![3, 0, 3, 0]);
         assert_eq!(stats.partition_totals, vec![2, 1, 3]);
         assert_eq!(stats.critical_path_events(), 5);
         assert_eq!(stats.window_count(), 4);
+        assert_eq!(stats.windows_executed, 2);
+        assert_eq!(stats.windows_skipped, 2);
     }
 
     #[test]
@@ -193,7 +266,31 @@ mod tests {
         assert_eq!(stats.coarse_trace.len(), TRACE_BUCKETS);
         let bucket_sum: u64 = stats.coarse_trace.iter().flatten().sum();
         assert_eq!(bucket_sum, n_windows as u64);
-        assert_eq!(stats.per_window_max.len(), n_windows);
+        assert_eq!(stats.bucket_critical.len(), TRACE_BUCKETS);
+        assert_eq!(stats.bucket_totals.len(), TRACE_BUCKETS);
+        assert_eq!(stats.critical_path_events(), n_windows as u64);
+        assert_eq!(stats.windows_executed, n_windows as u64);
+        assert_eq!(stats.windows_skipped, 0);
+    }
+
+    #[test]
+    fn accumulator_jumps_long_empty_stretches_in_o1() {
+        // A horizon of 100 million windows with three events: memory and
+        // time must both stay bucket-bounded (the pre-overhaul
+        // accumulator walked every window).
+        let n_windows = 100_000_000;
+        let mut acc = WindowAccumulator::new(2, n_windows);
+        acc.record(0, 0);
+        acc.record(57_000_000, 1);
+        acc.record(99_999_999, 0);
+        let mut stats = ExecutionStats::new(0);
+        acc.finish(SimTime::from_us(1), &mut stats);
+        assert!(stats.bucket_critical.len() <= TRACE_BUCKETS);
+        assert!(stats.bucket_totals.len() <= TRACE_BUCKETS);
+        assert_eq!(stats.critical_path_events(), 3);
+        assert_eq!(stats.windows_executed, 3);
+        assert_eq!(stats.windows_skipped, n_windows as u64 - 3);
+        assert_eq!(stats.partition_totals, vec![2, 1]);
     }
 
     #[test]
@@ -211,5 +308,6 @@ mod tests {
         assert!(s.partition_event_rates().is_empty());
         assert_eq!(s.window_count(), 0);
         assert_eq!(s.critical_path_events(), 0);
+        assert_eq!(s.total_barrier_wait_us(), 0.0);
     }
 }

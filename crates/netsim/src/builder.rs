@@ -9,7 +9,8 @@ use crate::packet::NetEvent;
 use crate::profiling::ProfileData;
 use crate::world::{AppLogic, NetWorld, SharedNet, DEFAULT_ROUTE_CACHE_CAPACITY};
 use massf_engine::{
-    run_parallel, run_sequential, run_sequential_windowed, ExecutionStats, LpId, SimTime,
+    run_sequential, run_sequential_windowed, try_run_parallel_observed, BarrierObserver,
+    ExecutionStats, LpId, MassfError, NoopBarrierObserver, SimTime,
 };
 use massf_faults::{FaultKind, FaultState};
 use massf_routing::PathResolver;
@@ -170,6 +171,11 @@ impl NetSimBuilder {
     /// Run on the real multi-threaded conservative executor, one thread
     /// per partition. `window` must not exceed the minimum latency of
     /// any cross-partition link (the achieved MLL).
+    ///
+    /// # Panics
+    /// Panics on a lookahead violation (window above the achieved MLL
+    /// — a caller bug here, since the caller picks both). Use
+    /// [`Self::try_run_parallel`] to handle it as an error instead.
     pub fn run_parallel<A: AppLogic + Clone>(
         &self,
         app: A,
@@ -178,6 +184,49 @@ impl NetSimBuilder {
         assignment: &[u32],
         partitions: usize,
     ) -> SimOutput<A> {
+        match self.try_run_parallel(app, end, window, assignment, partitions) {
+            Ok(out) => out,
+            // Deliberate facade: the caller chose both the window and the
+            // cut, so a violation is a programming error;
+            // try_run_parallel offers the Result form.
+            // simlint: allow(unwrap-audit) -- panicking facade over try_run_parallel
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Self::run_parallel`], but a lookahead violation comes back as
+    /// [`MassfError::LookaheadViolation`] instead of a panic.
+    pub fn try_run_parallel<A: AppLogic + Clone>(
+        &self,
+        app: A,
+        end: SimTime,
+        window: SimTime,
+        assignment: &[u32],
+        partitions: usize,
+    ) -> Result<SimOutput<A>, MassfError> {
+        self.try_run_parallel_observed(
+            app,
+            end,
+            window,
+            assignment,
+            partitions,
+            &NoopBarrierObserver,
+        )
+    }
+
+    /// [`Self::try_run_parallel`] with a [`BarrierObserver`] wrapped
+    /// around every executor barrier, for bench-side measurement of
+    /// wall-clock synchronization cost; the observer's totals land in
+    /// [`ExecutionStats::barrier_wait_us`].
+    pub fn try_run_parallel_observed<A: AppLogic + Clone, O: BarrierObserver>(
+        &self,
+        app: A,
+        end: SimTime,
+        window: SimTime,
+        assignment: &[u32],
+        partitions: usize,
+        observer: &O,
+    ) -> Result<SimOutput<A>, MassfError> {
         let shards: Vec<NetWorld<A>> = (0..partitions)
             .map(|_| {
                 NetWorld::with_route_cache(
@@ -187,14 +236,15 @@ impl NetSimBuilder {
                 )
             })
             .collect();
-        let (shards, stats) = run_parallel(
+        let (shards, stats) = try_run_parallel_observed(
             shards,
             self.shared.lp_count(),
             assignment,
             self.initial_events(),
             end,
             window,
-        );
+            observer,
+        )?;
         let mut profile =
             ProfileData::new(self.shared.net.node_count(), self.shared.net.links.len());
         let mut apps = Vec::with_capacity(partitions);
@@ -203,11 +253,11 @@ impl NetSimBuilder {
             profile.merge(&p);
             apps.push(a);
         }
-        SimOutput {
+        Ok(SimOutput {
             stats,
             profile,
             apps,
-        }
+        })
     }
 }
 
@@ -286,5 +336,37 @@ mod tests {
         assert_eq!(seq.stats.total_events, par.stats.total_events);
         assert_eq!(seq.stats.lp_events, par.stats.lp_events);
         assert_eq!(seq.profile, par.profile);
+    }
+
+    #[test]
+    fn oversized_window_is_a_structured_error() {
+        let (b, _) = builder_with_traffic();
+        let shared = b.shared();
+        let n = shared.lp_count();
+        let assignment: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+        let mut mll = f64::INFINITY;
+        for link in &shared.net.links {
+            if assignment[link.a.index()] != assignment[link.b.index()] {
+                mll = mll.min(link.latency_ms);
+            }
+        }
+        // Deliberately above the cut's MLL: conservative execution is
+        // unsound and the run must abort with the structured error.
+        let window = SimTime::from_ms_f64(mll * 64.0);
+        let err = match b.try_run_parallel(NoApp, SimTime::from_secs(5), window, &assignment, 2) {
+            Ok(_) => panic!("window far above the MLL must violate lookahead"),
+            Err(e) => e,
+        };
+        match err {
+            MassfError::LookaheadViolation {
+                event_time_ns,
+                window_ns,
+                ..
+            } => {
+                assert_eq!(window_ns, window.as_ns());
+                assert!(event_time_ns < SimTime::from_secs(5).as_ns());
+            }
+            other => panic!("expected LookaheadViolation, got {other}"),
+        }
     }
 }

@@ -46,6 +46,16 @@ fn d2_wall_clock_fixture() {
 }
 
 #[test]
+fn d2_atomic_min_pattern_is_clean() {
+    // The executor's Relaxed-atomics-plus-barrier rendezvous must pass
+    // every rule without suppressions, in the strictest crate scope.
+    for krate in ["engine", "core", "bench"] {
+        let found = scan_fixture("d2_atomic_min.rs", krate);
+        assert!(found.is_empty(), "{krate}: {found:?}");
+    }
+}
+
+#[test]
 fn d3_entropy_fixture() {
     let found = scan_fixture("d3_entropy.rs", "engine");
     assert_eq!(found.len(), 2, "{found:?}");

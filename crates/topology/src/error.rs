@@ -29,6 +29,16 @@ pub enum MassfError {
     InvalidFaultScript(String),
     /// Invalid configuration or command-line arguments.
     InvalidConfig(String),
+    /// A parallel run emitted a cross-partition event inside the current
+    /// synchronization window: the window length exceeds the partition
+    /// cut's minimum link latency, so conservative execution is unsound.
+    /// Carries the offending partition, the violating event's timestamp,
+    /// and the window length that was in force.
+    LookaheadViolation {
+        partition: u32,
+        event_time_ns: u64,
+        window_ns: u64,
+    },
 }
 
 impl fmt::Display for MassfError {
@@ -47,6 +57,16 @@ impl fmt::Display for MassfError {
             }
             MassfError::InvalidFaultScript(msg) => write!(f, "invalid fault script: {msg}"),
             MassfError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            MassfError::LookaheadViolation {
+                partition,
+                event_time_ns,
+                window_ns,
+            } => write!(
+                f,
+                "lookahead violation: partition {partition} scheduled a cross-partition \
+                 event at {event_time_ns} ns inside the current {window_ns} ns window \
+                 (window exceeds the partition's MLL?)"
+            ),
         }
     }
 }

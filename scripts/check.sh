@@ -3,8 +3,8 @@
 # Run from anywhere; operates on the repository containing this script.
 #
 #   scripts/check.sh          full gate (including the release-mode
-#                             fault_flap_study and route_resolution
-#                             smoke runs)
+#                             fault_flap_study, route_resolution and
+#                             engine_hotpath smoke runs)
 #   scripts/check.sh --fast   skip the release-mode smoke runs
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -37,6 +37,8 @@ if [ "$FAST" -eq 0 ]; then
     cargo run --release -q -p massf-bench --bin fault_flap_study -- --smoke
     echo "== route_resolution --smoke =="
     cargo bench -q -p massf-bench --bench route_resolution -- --smoke
+    echo "== engine_hotpath --smoke =="
+    cargo bench -q -p massf-bench --bench engine_hotpath -- --smoke
 else
     echo "== release-mode smoke runs skipped (--fast) =="
 fi

@@ -1,0 +1,234 @@
+//! Hot-path correctness of the overhauled parallel executor: property
+//! tests for bit-identity against the sequential reference over random
+//! window sizes (divisors and non-divisors of the horizon), sparse and
+//! bursty schedules, and random LP→partition assignments; plus the
+//! empty-window fast-forward guarantees and the bounded-memory
+//! regression for tiny-window/long-horizon runs.
+
+use massf_engine::{
+    run_parallel, run_sequential, run_sequential_windowed, Emitter, ExecutionStats, LpId, Model,
+    SimTime, TRACE_BUCKETS,
+};
+use proptest::prelude::*;
+
+/// Ring model keeping a full per-LP visit log — the strongest identity
+/// witness: any difference in event order, timing, or payload at any LP
+/// shows up. A token travels `burst` hops of `hop` each, then sleeps
+/// `idle` before the next burst (`idle == ZERO` keeps the ring dense).
+#[derive(Debug, Clone)]
+struct LogRing {
+    n: u32,
+    hop: SimTime,
+    idle: SimTime,
+    burst: u32,
+    log: Vec<Vec<(u64, u32)>>,
+}
+
+impl LogRing {
+    fn new(n: u32, hop: SimTime, idle: SimTime, burst: u32) -> Self {
+        LogRing {
+            n,
+            hop,
+            idle,
+            burst,
+            log: vec![Vec::new(); n as usize],
+        }
+    }
+}
+
+impl Model for LogRing {
+    type Event = u32; // hops left in the current burst
+
+    fn handle(&mut self, target: LpId, now: SimTime, left: u32, out: &mut Emitter<'_, u32>) {
+        self.log[target.index()].push((now.as_ns(), left));
+        let next = LpId((target.0 + 1) % self.n);
+        if left > 0 {
+            out.emit(self.hop, next, left - 1);
+        } else if self.idle > SimTime::ZERO {
+            out.emit(self.idle, next, self.burst);
+        } else {
+            out.emit(self.hop, next, self.burst);
+        }
+    }
+}
+
+/// Merge shard logs: every LP is handled only on its home shard, so for
+/// each LP exactly one shard may have entries.
+fn merged_log(shards: &[LogRing]) -> Vec<Vec<(u64, u32)>> {
+    let n = shards[0].log.len();
+    (0..n)
+        .map(|lp| {
+            let mut owners = shards.iter().filter(|s| !s.log[lp].is_empty());
+            let log = owners.next().map(|s| s.log[lp].clone()).unwrap_or_default();
+            assert!(
+                owners.next().is_none(),
+                "LP {lp} was handled on more than one shard"
+            );
+            log
+        })
+        .collect()
+}
+
+/// Stats fields that must be bit-identical between the windowed
+/// sequential reference and the parallel executor (everything except
+/// `barrier_rounds` / `barrier_wait_us`, which are executor-specific).
+fn assert_windowed_stats_match(seq: &ExecutionStats, par: &ExecutionStats) {
+    assert_eq!(seq.total_events, par.total_events);
+    assert_eq!(seq.lp_events, par.lp_events);
+    assert_eq!(seq.bucket_critical, par.bucket_critical);
+    assert_eq!(seq.bucket_totals, par.bucket_totals);
+    assert_eq!(seq.partition_totals, par.partition_totals);
+    assert_eq!(seq.coarse_trace, par.coarse_trace);
+    assert_eq!(seq.windows_executed, par.windows_executed);
+    assert_eq!(seq.windows_skipped, par.windows_skipped);
+    assert_eq!(seq.window_count(), par.window_count());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The overhauled executor is bit-identical to `run_sequential`
+    /// (visit logs) and to `run_sequential_windowed` (window/partition
+    /// accounting) for any window ≤ the 1 ms hop lookahead — including
+    /// windows that do not divide the horizon — any burst/idle shape,
+    /// and any assignment of LPs to 1..=4 partitions.
+    #[test]
+    fn parallel_is_bit_identical_over_random_windows_and_schedules(
+        n in 2u32..24,
+        parts in 1usize..5,
+        // 1 ns ..= 1 ms: anything above 1 ms would violate the hop
+        // lookahead; 1 ms itself (the 0 case below) divides the 200 ms
+        // horizon exactly, most smaller values do not.
+        window_ns in 0u64..=1_000_000,
+        idle_ms in 0u64..50,
+        burst in 0u32..12,
+        tokens in proptest::collection::vec((0u64..50, any::<u32>()), 1..6),
+        assign_seed in any::<u64>(),
+    ) {
+        let hop = SimTime::from_ms(1);
+        let idle = SimTime::from_ms(idle_ms);
+        let end = SimTime::from_ms(200);
+        let window = SimTime::from_ns(if window_ns == 0 { 1_000_000 } else { window_ns });
+        let initial: Vec<(SimTime, LpId, u32)> = tokens
+            .iter()
+            .map(|&(t, v)| (SimTime::from_ms(t), LpId(v % n), v % (burst + 1)))
+            .collect();
+        // Random (not block) assignment; some partitions may own no LPs.
+        let assignment: Vec<u32> = (0..n as u64)
+            .map(|i| {
+                let x = assign_seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(i.wrapping_mul(1442695040888963407));
+                (x >> 33) as u32 % parts as u32
+            })
+            .collect();
+
+        let mut seq = LogRing::new(n, hop, idle, burst);
+        run_sequential(&mut seq, n as usize, initial.clone(), end);
+
+        let mut seqw = LogRing::new(n, hop, idle, burst);
+        let seqw_stats = run_sequential_windowed(
+            &mut seqw, n as usize, initial.clone(), end, window, &assignment, parts,
+        );
+        prop_assert_eq!(&seqw.log, &seq.log);
+
+        let shards: Vec<LogRing> = (0..parts)
+            .map(|_| LogRing::new(n, hop, idle, burst))
+            .collect();
+        let (shards, par_stats) =
+            run_parallel(shards, n as usize, &assignment, initial, end, window);
+
+        prop_assert_eq!(&merged_log(&shards), &seq.log);
+        assert_windowed_stats_match(&seqw_stats, &par_stats);
+        prop_assert_eq!(par_stats.barrier_rounds, 1 + 2 * par_stats.windows_executed);
+    }
+
+    /// Fast-forward property: the executed barrier rounds track only the
+    /// non-empty windows, so on any schedule the new executor performs
+    /// `1 + 2·windows_executed` rounds where the pre-overhaul design
+    /// paid `2·window_count()` — and skipping never perturbs the logs.
+    #[test]
+    fn fast_forward_shrinks_barrier_count_without_touching_logs(
+        n in 2u32..16,
+        parts in 2usize..5,
+        idle_ms in 20u64..200,
+        burst in 1u32..8,
+    ) {
+        let hop = SimTime::from_ms(1);
+        let idle = SimTime::from_ms(idle_ms);
+        let end = SimTime::from_secs(2);
+        let window = hop;
+        let initial = vec![(SimTime::ZERO, LpId(0), burst)];
+
+        let mut seq = LogRing::new(n, hop, idle, burst);
+        run_sequential(&mut seq, n as usize, initial.clone(), end);
+
+        let assignment: Vec<u32> = (0..n).map(|i| i % parts as u32).collect();
+        let shards: Vec<LogRing> = (0..parts)
+            .map(|_| LogRing::new(n, hop, idle, burst))
+            .collect();
+        let (shards, stats) =
+            run_parallel(shards, n as usize, &assignment, initial, end, window);
+
+        prop_assert_eq!(&merged_log(&shards), &seq.log);
+        prop_assert_eq!(stats.barrier_rounds, 1 + 2 * stats.windows_executed);
+        prop_assert!(stats.windows_skipped > 0, "idle gaps must produce empty windows");
+        let old_rounds = 2 * stats.window_count() as u64;
+        prop_assert!(
+            stats.barrier_rounds < old_rounds,
+            "fast-forward must beat the fixed-stride barrier count ({} vs {})",
+            stats.barrier_rounds,
+            old_rounds
+        );
+    }
+}
+
+/// Regression for the O(n_windows) memory blowup: a 1 µs window over a
+/// 100 s horizon means 10^8 nominal windows. The executor must neither
+/// allocate per-window arrays nor iterate empty windows — the run holds
+/// three events and finishes instantly with all stats vectors bounded by
+/// `TRACE_BUCKETS`.
+#[test]
+fn tiny_window_long_horizon_stays_bounded() {
+    let n = 4u32;
+    let hop = SimTime::from_secs(30); // three hops inside the horizon
+    let model = || LogRing::new(n, hop, SimTime::ZERO, 0);
+    let end = SimTime::from_secs(100);
+    let window = SimTime::from_us(1);
+    let n_windows = 100_000_000usize;
+    let initial = vec![(SimTime::ZERO, LpId(0), 0u32)];
+    let assignment: Vec<u32> = (0..n).map(|i| i % 2).collect();
+
+    let mut seq = model();
+    let seq_stats = run_sequential_windowed(
+        &mut seq,
+        n as usize,
+        initial.clone(),
+        end,
+        window,
+        &assignment,
+        2,
+    );
+
+    let (shards, stats) = run_parallel(
+        vec![model(), model()],
+        n as usize,
+        &assignment,
+        initial,
+        end,
+        window,
+    );
+
+    for s in [&seq_stats, &stats] {
+        assert_eq!(s.window_count(), n_windows);
+        assert_eq!(s.total_events, 4);
+        assert_eq!(s.windows_executed, 4);
+        assert_eq!(s.windows_skipped, n_windows as u64 - 4);
+        assert!(s.bucket_critical.len() <= TRACE_BUCKETS);
+        assert!(s.bucket_totals.len() <= TRACE_BUCKETS);
+        assert!(s.coarse_trace.len() <= TRACE_BUCKETS);
+    }
+    assert_eq!(merged_log(&shards), seq.log);
+    // 4 executed windows ⇒ 9 barrier rounds instead of 2·10^8.
+    assert_eq!(stats.barrier_rounds, 9);
+}

@@ -76,7 +76,7 @@ fn windowed_sequential_matches_plain_sequential_on_full_workload() {
     assert_eq!(plain.stats.total_events, windowed.stats.total_events);
     assert_eq!(plain.profile, windowed.profile);
     // Windowed bookkeeping is consistent.
-    let by_window: u64 = windowed.stats.per_window_total.iter().sum();
+    let by_window: u64 = windowed.stats.bucket_totals.iter().sum();
     let by_partition: u64 = windowed.stats.partition_totals.iter().sum();
     assert_eq!(by_window, windowed.stats.total_events);
     assert_eq!(by_partition, windowed.stats.total_events);
