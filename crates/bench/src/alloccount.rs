@@ -1,0 +1,96 @@
+//! Counting global allocator (feature `alloc-count`, bench-only).
+//!
+//! [`CountingAlloc`] wraps the system allocator and tracks live and
+//! peak heap bytes in two process-global relaxed atomics, so memory
+//! benches (`mem_footprint`) measure footprints without external
+//! tooling (no massif/heaptrack in the container). Install it with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: massf_bench::alloccount::CountingAlloc = CountingAlloc;
+//! ```
+//!
+//! Accounting is by requested layout size — allocator-internal slack
+//! and metadata are not visible from `GlobalAlloc`, so reported bytes
+//! are a slight *under*estimate of RSS. Peaks are monotone per process
+//! until [`reset_peak`]; `Relaxed` ordering is fine because the bench
+//! reads the counters from the same thread that just finished the work
+//! being measured (and exactness of concurrent peaks is not needed).
+//!
+//! This module contains the workspace's only `unsafe` code, which is
+//! why it — and the lift of `forbid(unsafe_code)` in `lib.rs` — exists
+//! solely behind the bench-only feature gate.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// System-allocator wrapper that maintains [`live_bytes`] /
+/// [`peak_bytes`].
+pub struct CountingAlloc;
+
+fn on_alloc(bytes: usize) {
+    let live = LIVE.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+fn on_dealloc(bytes: usize) {
+    LIVE.fetch_sub(bytes, Ordering::Relaxed);
+}
+
+// SAFETY: defers every allocation verbatim to `System` and only adds
+// counter bookkeeping, which allocates nothing itself.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: same contract as the caller's, forwarded unchanged.
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: same contract as the caller's, forwarded unchanged.
+        let p = unsafe { System.alloc_zeroed(layout) };
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: same contract as the caller's, forwarded unchanged.
+        unsafe { System.dealloc(ptr, layout) };
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: same contract as the caller's, forwarded unchanged.
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Heap bytes currently allocated (requested sizes).
+pub fn live_bytes() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// High-water mark of [`live_bytes`] since process start or the last
+/// [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Restart peak tracking from the current live level, so a bench can
+/// attribute a peak to one phase.
+pub fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}

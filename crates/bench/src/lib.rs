@@ -16,10 +16,16 @@
 //! substitution #1); the figure *shapes* — who wins, by roughly what
 //! factor — are the reproduction target.
 
-#![forbid(unsafe_code)]
+// The `alloc-count` feature swaps the global allocator for a counting
+// wrapper (see `alloccount`), which requires the one `unsafe impl` in
+// the workspace; every other build of this crate keeps the blanket ban.
+#![cfg_attr(not(feature = "alloc-count"), forbid(unsafe_code))]
 
 use massf_core::prelude::*;
 use std::collections::HashMap;
+
+#[cfg(feature = "alloc-count")]
+pub mod alloccount;
 
 /// Command-line options shared by the figure binaries.
 #[derive(Debug, Clone)]

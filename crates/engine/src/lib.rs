@@ -38,6 +38,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod arena;
 pub mod baseline;
 pub mod event;
 pub mod model;
@@ -47,6 +48,7 @@ pub mod stats;
 pub mod synccost;
 pub mod time;
 
+pub use arena::{EventArena, EventHandle};
 pub use event::{EventRecord, LpId};
 pub use massf_topology::MassfError;
 pub use model::{Emitter, Model};

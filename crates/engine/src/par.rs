@@ -49,12 +49,14 @@
 //! barrier pair for every window) is preserved in [`crate::baseline`]
 //! as the A/B comparison target for the `engine_hotpath` bench.
 
-use crate::event::{EventRecord, LpId, Reverse};
+use crate::arena::{EventArena, QueuedEvent};
+use crate::event::{EventRecord, LpId};
 use crate::model::{seed_events, Emitter, Model};
 use crate::stats::{bucket_layout, ExecutionStats};
 use crate::time::SimTime;
 use massf_topology::MassfError;
 use parking_lot::Mutex;
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
@@ -209,8 +211,17 @@ pub fn try_run_parallel_observed<M: Model, O: BarrierObserver>(
             let poison = &poison;
             handles.push(scope.spawn(move || {
                 let mut shard = shard;
-                let mut heap: BinaryHeap<Reverse<M::Event>> =
-                    init.into_iter().map(Reverse).collect();
+                // Per-thread payload arena + handle heap: local events
+                // never leave this thread, so slot recycling stays
+                // thread-private (see `crate::arena`). Cross-partition
+                // events travel as full `EventRecord`s through the
+                // exchange matrix and enter the *receiver's* arena on
+                // drain.
+                let mut arena: EventArena<M::Event> = EventArena::new();
+                let mut heap: BinaryHeap<Reverse<QueuedEvent>> = init
+                    .into_iter()
+                    .map(|ev| Reverse(arena.enqueue(ev)))
+                    .collect();
                 let mut counters = vec![0u32; lp_count];
                 let mut out_buf: Vec<EventRecord<M::Event>> = Vec::new();
                 // Private per-destination rows; swapped (never moved)
@@ -236,7 +247,7 @@ pub fn try_run_parallel_observed<M: Model, O: BarrierObserver>(
                 // Publish the initial next-event time, then rendezvous so
                 // every partition computes the first window from complete
                 // information.
-                let next = heap.peek().map_or(IDLE, |Reverse(ev)| ev.time.as_ns());
+                let next = heap.peek().map_or(IDLE, |&Reverse(ev)| ev.time.as_ns());
                 next_times[p].store(next, Ordering::Relaxed);
                 observer.wait_begin(p);
                 barrier.wait();
@@ -261,11 +272,12 @@ pub fn try_run_parallel_observed<M: Model, O: BarrierObserver>(
 
                     // Process this window's local events.
                     let mut count = 0u64;
-                    while let Some(Reverse(head)) = heap.peek() {
+                    while let Some(&Reverse(head)) = heap.peek() {
                         if head.time >= window_end {
                             break;
                         }
                         let Reverse(ev) = heap.pop().expect("peeked");
+                        let payload = arena.take(ev.handle);
                         let lp = ev.target;
                         debug_assert_eq!(assignment[lp.index()] as usize, p);
                         {
@@ -275,7 +287,7 @@ pub fn try_run_parallel_observed<M: Model, O: BarrierObserver>(
                                 &mut counters[lp.index()],
                                 &mut out_buf,
                             );
-                            shard.handle(lp, ev.time, ev.payload, &mut emitter);
+                            shard.handle(lp, ev.time, payload, &mut emitter);
                         }
                         lp_events[lp.index()] += 1;
                         count += 1;
@@ -283,7 +295,7 @@ pub fn try_run_parallel_observed<M: Model, O: BarrierObserver>(
                             debug_assert!(new_ev.time >= ev.time);
                             let dest = assignment[new_ev.target.index()] as usize;
                             if dest == p {
-                                heap.push(Reverse(new_ev));
+                                heap.push(Reverse(arena.enqueue(new_ev)));
                             } else {
                                 if new_ev.time < window_end {
                                     // Lookahead violation (window exceeds
@@ -350,7 +362,7 @@ pub fn try_run_parallel_observed<M: Model, O: BarrierObserver>(
                         let mut slot = exchange[q * partitions + p].lock();
                         for ev in slot.drain(..) {
                             debug_assert!(ev.time >= window_end, "lookahead-safe arrival");
-                            heap.push(Reverse(ev));
+                            heap.push(Reverse(arena.enqueue(ev)));
                         }
                     }
                     // Publish my next local event time for the
@@ -358,7 +370,7 @@ pub fn try_run_parallel_observed<M: Model, O: BarrierObserver>(
                     // been exchanged, so the global min over these is
                     // exact — and ≥ window_end, so virtual time strictly
                     // advances.
-                    let next = heap.peek().map_or(IDLE, |Reverse(ev)| ev.time.as_ns());
+                    let next = heap.peek().map_or(IDLE, |&Reverse(ev)| ev.time.as_ns());
                     next_times[p].store(next, Ordering::Relaxed);
                     // Nobody may compute the next window (or start
                     // sending into it) until every partition has drained

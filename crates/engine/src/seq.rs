@@ -7,10 +7,12 @@
 //! window boundaries never change event order, both produce identical
 //! model states.
 
-use crate::event::{EventRecord, LpId, Reverse};
+use crate::arena::{EventArena, QueuedEvent};
+use crate::event::{EventRecord, LpId};
 use crate::model::{seed_events, Emitter, Model};
 use crate::stats::{ExecutionStats, WindowAccumulator};
 use crate::time::SimTime;
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Run `model` until `end_time` (exclusive), starting from `initial`
@@ -57,9 +59,13 @@ fn run_inner<M: Model>(
     windowed: Option<(SimTime, &[u32], usize)>,
 ) -> ExecutionStats {
     let mut stats = ExecutionStats::new(lp_count);
-    let mut heap: BinaryHeap<Reverse<M::Event>> = BinaryHeap::new();
+    // Payloads live in the arena; the heap orders 32-byte handles. Slots
+    // recycle as events execute, so the steady-state loop is
+    // allocation-free (see `crate::arena`).
+    let mut arena: EventArena<M::Event> = EventArena::new();
+    let mut heap: BinaryHeap<Reverse<QueuedEvent>> = BinaryHeap::new();
     for ev in seed_events(initial) {
-        heap.push(Reverse(ev));
+        heap.push(Reverse(arena.enqueue(ev)));
     }
     let mut counters = vec![0u32; lp_count];
     let mut out_buf: Vec<EventRecord<M::Event>> = Vec::new();
@@ -73,11 +79,12 @@ fn run_inner<M: Model>(
         if ev.time >= end_time {
             break;
         }
+        let payload = arena.take(ev.handle);
         let lp = ev.target;
         debug_assert!(lp.index() < lp_count, "event for unknown LP {lp:?}");
         {
             let mut emitter = Emitter::new(ev.time, lp.0, &mut counters[lp.index()], &mut out_buf);
-            model.handle(lp, ev.time, ev.payload, &mut emitter);
+            model.handle(lp, ev.time, payload, &mut emitter);
         }
         stats.lp_events[lp.index()] += 1;
         stats.total_events += 1;
@@ -88,7 +95,7 @@ fn run_inner<M: Model>(
         }
         for new_ev in out_buf.drain(..) {
             debug_assert!(new_ev.time >= ev.time, "event scheduled in the past");
-            heap.push(Reverse(new_ev));
+            heap.push(Reverse(arena.enqueue(new_ev)));
         }
     }
     if let (Some(acc), Some((window, _, _))) = (acc, windowed) {

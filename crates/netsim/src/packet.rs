@@ -22,7 +22,10 @@ impl FlowId {
     }
 }
 
-/// What a packet is.
+/// What a packet is. The kind also fixes the packet's travel direction
+/// over its (shared) path: `Data` and `Datagram` walk the path forward,
+/// `Ack` walks the same node sequence in reverse — which is why one
+/// path reference per packet suffices (see [`Packet::path`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PacketKind {
     /// TCP data segment; `seq` is the segment number.
@@ -34,38 +37,81 @@ pub enum PacketKind {
 }
 
 /// A simulated packet. Paths are source routes resolved at flow setup
-/// (see `massf-routing`); `hop` indexes the packet's current position.
+/// (see `massf-routing`); `hop` counts the nodes already visited in the
+/// packet's own travel direction.
+///
+/// Memory layout: exactly one `Arc` path reference per packet. The
+/// forward path is interned per `(epoch, src, dst)` by the world's
+/// route cache, so every packet of a flow — and every ACK coming back —
+/// shares a single allocation; ACKs reuse the *same* `Arc` and derive
+/// the reverse walk from [`PacketKind::Ack`] instead of carrying a
+/// second `rpath` allocation. The destination is stored inline so the
+/// hot-path destination check never dereferences the `Arc`.
 #[derive(Debug, Clone)]
 pub struct Packet {
     pub flow: FlowId,
-    pub kind: PacketKind,
-    pub seq: u32,
-    /// Bytes on the wire (headers included).
-    pub size_bytes: u32,
-    /// Forward node path, `path[0]` = source host, last = destination.
-    pub path: Arc<[NodeId]>,
-    /// Reverse path for ACKs (destination's view), shipped with data
-    /// packets so the receiver needs no resolver access.
-    pub rpath: Arc<[NodeId]>,
-    /// Index of the node currently holding the packet.
-    pub hop: u16,
     /// Application-opaque metadata carried by datagrams (workflow edge
     /// ids, request tokens, …); zero for TCP packets.
     pub meta: u64,
+    /// Node path shared by both directions of the flow. For `Data` /
+    /// `Datagram` the packet visits `path[0]` (source) through
+    /// `path[len-1]` (destination); for `Ack` it visits the same nodes
+    /// last-to-first.
+    pub path: Arc<[NodeId]>,
+    /// The node this packet is destined for (the last node of its walk,
+    /// cached inline so destination checks don't touch the `Arc`).
+    pub dst: NodeId,
+    pub seq: u32,
+    /// Bytes on the wire (headers included).
+    pub size_bytes: u32,
+    /// Number of nodes already visited in the packet's travel direction;
+    /// the packet currently sits at `node_at(hop)`.
+    pub hop: u16,
+    pub kind: PacketKind,
 }
 
+/// Size budget: `FlowId` + `meta` (16) + one `Arc` fat pointer (16) +
+/// `dst`/`seq`/`size_bytes` (12) + `hop`/`kind` packed into the final
+/// word = 48 bytes, down from 64 with the old two-`Arc` layout. Growing
+/// this struct regresses copy cost on every hop; update the budget only
+/// with a measured justification in BENCH_memory.json.
+const _: () = assert!(std::mem::size_of::<Packet>() <= 48);
+
 impl Packet {
-    /// The node this packet is destined for.
-    pub fn destination(&self) -> NodeId {
-        *self.path.last().expect("paths are non-empty")
+    /// Does this packet walk its path front-to-back?
+    #[inline]
+    pub fn forward(&self) -> bool {
+        !matches!(self.kind, PacketKind::Ack)
     }
 
-    /// The next node on the path, if any.
+    /// The `i`-th node of the packet's walk (0 = where it started).
+    #[inline]
+    pub fn node_at(&self, i: usize) -> NodeId {
+        if self.forward() {
+            self.path[i]
+        } else {
+            self.path[self.path.len() - 1 - i]
+        }
+    }
+
+    /// The node this packet is destined for.
+    #[inline]
+    pub fn destination(&self) -> NodeId {
+        self.dst
+    }
+
+    /// The next node on the walk, if any.
+    #[inline]
     pub fn next_node(&self) -> Option<NodeId> {
-        self.path.get(self.hop as usize + 1).copied()
+        if (self.hop as usize + 1) < self.path.len() {
+            Some(self.node_at(self.hop as usize + 1))
+        } else {
+            None
+        }
     }
 
     /// Has the packet reached its destination?
+    #[inline]
     pub fn at_destination(&self) -> bool {
         self.hop as usize + 1 == self.path.len()
     }
@@ -93,6 +139,16 @@ pub enum NetEvent {
     /// reconvergence for the new epoch at fault time.
     Fault { kind: FaultKind },
 }
+
+/// Size budget: `Arrive` dominates — the 48-byte [`Packet`] plus the
+/// discriminant packs into 56 bytes. Event payloads are moved through
+/// heaps, outboxes and arenas constantly; keep the largest variant the
+/// packet itself.
+const _: () = assert!(std::mem::size_of::<NetEvent>() <= 56);
+const _: () = assert!(std::mem::size_of::<FaultKind>() <= 16);
+/// The full queued unit — `(time, tag, target)` header plus the payload —
+/// as stored in executor arenas and cross-partition outboxes.
+const _: () = assert!(std::mem::size_of::<massf_engine::EventRecord<NetEvent>>() <= 80);
 
 /// Maximum segment size (TCP payload bytes per data packet).
 pub const MSS: u32 = 1460;
@@ -122,20 +178,46 @@ mod tests {
         let path: Arc<[NodeId]> = vec![NodeId(1), NodeId(2), NodeId(3)].into();
         let mut p = Packet {
             flow: FlowId::new(NodeId(1), 0),
-            kind: PacketKind::Data,
+            meta: 0,
+            path: path.clone(),
+            dst: NodeId(3),
             seq: 0,
             size_bytes: 1500,
-            path: path.clone(),
-            rpath: vec![NodeId(3), NodeId(2), NodeId(1)].into(),
             hop: 0,
-            meta: 0,
+            kind: PacketKind::Data,
         };
         assert_eq!(p.destination(), NodeId(3));
+        assert_eq!(p.node_at(0), NodeId(1));
         assert_eq!(p.next_node(), Some(NodeId(2)));
         assert!(!p.at_destination());
         p.hop = 2;
         assert!(p.at_destination());
         assert_eq!(p.next_node(), None);
+    }
+
+    #[test]
+    fn ack_walks_the_same_path_in_reverse() {
+        let path: Arc<[NodeId]> = vec![NodeId(1), NodeId(2), NodeId(3)].into();
+        let mut ack = Packet {
+            flow: FlowId::new(NodeId(1), 0),
+            meta: 0,
+            path,
+            dst: NodeId(1),
+            seq: 0,
+            size_bytes: 40,
+            hop: 0,
+            kind: PacketKind::Ack,
+        };
+        assert!(!ack.forward());
+        assert_eq!(ack.node_at(0), NodeId(3));
+        assert_eq!(ack.next_node(), Some(NodeId(2)));
+        ack.hop = 1;
+        assert_eq!(ack.node_at(ack.hop as usize), NodeId(2));
+        assert_eq!(ack.next_node(), Some(NodeId(1)));
+        ack.hop = 2;
+        assert!(ack.at_destination());
+        assert_eq!(ack.node_at(2), NodeId(1));
+        assert_eq!(ack.destination(), NodeId(1));
     }
 
     #[test]

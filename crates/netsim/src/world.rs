@@ -6,6 +6,15 @@
 //! equivalence): handling an event at node `n` touches only `n`'s state —
 //! its flow tables, its per-outgoing-link transmit queues, and its
 //! application state. All cross-node effects are packets (events).
+//!
+//! **Memory layout** (DESIGN.md §3 item 13): per-flow state lives in
+//! struct-of-arrays slabs ([`FlowSlab`], [`ReceiverSlab`]) instead of
+//! per-flow `HashMap` entries, the port table is a sorted CSR adjacency
+//! instead of a `HashMap<(u32, u32), u32>`, and packets carry a single
+//! interned path `Arc` (see [`Packet`]). Slab slot numbers are an
+//! implementation detail of one world instance — they never leak into
+//! `FlowId`s, events, or results, so sequential and parallel runs stay
+//! bit-identical even though their worlds recycle slots differently.
 
 use crate::packet::{FlowId, NetEvent, Packet, PacketKind, ACK_BYTES, HEADER_BYTES, MSS};
 use crate::profiling::ProfileData;
@@ -14,7 +23,6 @@ use massf_engine::{Emitter, LpId, Model, SimTime};
 use massf_faults::FaultState;
 use massf_routing::{PathResolver, RouteCache};
 use massf_topology::{Link, Network, NodeId};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Default per-source route-cache capacity (destinations per source
@@ -32,6 +40,86 @@ pub enum TransportKind {
     Udp,
 }
 
+/// Sorted CSR adjacency for next-hop port lookup: for each node, its
+/// neighbor ids in ascending order and the connecting link index, in
+/// parallel `u32` arrays. Replaces the former `HashMap<(u32, u32), u32>`
+/// — a binary search over a node's (short) neighbor range touches one
+/// or two cache lines, allocates nothing, and iterates in a fixed
+/// order, so it is trivially deterministic.
+struct PortTable {
+    /// Per-node range into `neighbors`/`links`; length `node_count + 1`.
+    offsets: Box<[u32]>,
+    /// Neighbor node ids, ascending within each node's range.
+    neighbors: Box<[u32]>,
+    /// Link index for the corresponding neighbor entry.
+    links: Box<[u32]>,
+}
+
+impl PortTable {
+    fn build(net: &Network) -> Self {
+        let n = net.node_count();
+        let mut offsets = vec![0u32; n + 1];
+        for link in &net.links {
+            offsets[link.a.index() + 1] += 1;
+            offsets[link.b.index() + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let total = offsets[n] as usize;
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut neighbors = vec![0u32; total];
+        let mut links = vec![0u32; total];
+        for link in &net.links {
+            for (from, to) in [(link.a, link.b), (link.b, link.a)] {
+                let c = &mut cursor[from.index()];
+                neighbors[*c as usize] = to.0;
+                links[*c as usize] = link.id.0;
+                *c += 1;
+            }
+        }
+        // Sort each node's range by neighbor id. The sort is stable, so
+        // parallel links between the same pair keep link-insertion order
+        // and lookup — which takes the *last* entry of an equal-neighbor
+        // run — preserves the previous HashMap's insert-overwrite
+        // semantics exactly.
+        let mut scratch: Vec<(u32, u32)> = Vec::new();
+        for i in 0..n {
+            let range = offsets[i] as usize..offsets[i + 1] as usize;
+            scratch.clear();
+            scratch.extend(
+                neighbors[range.clone()]
+                    .iter()
+                    .copied()
+                    .zip(links[range.clone()].iter().copied()),
+            );
+            scratch.sort_by_key(|&(nb, _)| nb);
+            for (k, &(nb, l)) in scratch.iter().enumerate() {
+                neighbors[offsets[i] as usize + k] = nb;
+                links[offsets[i] as usize + k] = l;
+            }
+        }
+        PortTable {
+            offsets: offsets.into(),
+            neighbors: neighbors.into(),
+            links: links.into(),
+        }
+    }
+
+    /// Link index connecting `from → to`, if adjacent.
+    fn lookup(&self, from: NodeId, to: NodeId) -> Option<u32> {
+        let lo = self.offsets[from.index()] as usize;
+        let hi = self.offsets[from.index() + 1] as usize;
+        let ns = &self.neighbors[lo..hi];
+        let end = ns.partition_point(|&nb| nb <= to.0);
+        if end > 0 && ns[end - 1] == to.0 {
+            Some(self.links[lo + end - 1])
+        } else {
+            None
+        }
+    }
+}
+
 /// Immutable data shared by all partitions: topology, routing, and
 /// per-link derived constants.
 pub struct SharedNet {
@@ -41,8 +129,8 @@ pub struct SharedNet {
     /// queries are pure functions of virtual time, so sharing one
     /// instance across partitions preserves parallel determinism.
     pub faults: Option<Arc<FaultState>>,
-    /// `(from, to)` → link index, both directions.
-    port: HashMap<(u32, u32), u32>,
+    /// `(from, to)` → link index, both directions (sorted CSR).
+    port: PortTable,
     /// Drop-tail buffer size per link, bytes.
     buffer_bytes: Vec<u64>,
 }
@@ -68,11 +156,9 @@ impl SharedNet {
         resolver: Arc<dyn PathResolver>,
         faults: Option<Arc<FaultState>>,
     ) -> Arc<Self> {
-        let mut port = HashMap::with_capacity(net.links.len() * 2);
+        let port = PortTable::build(&net);
         let mut buffer_bytes = Vec::with_capacity(net.links.len());
         for link in &net.links {
-            port.insert((link.a.0, link.b.0), link.id.0);
-            port.insert((link.b.0, link.a.0), link.id.0);
             buffer_bytes.push(((link.bandwidth_bps * 0.050 / 8.0) as u64).max(30_000));
         }
         Arc::new(SharedNet {
@@ -87,8 +173,8 @@ impl SharedNet {
     /// The link connecting `from` to `to`, if adjacent.
     pub fn link_between(&self, from: NodeId, to: NodeId) -> Option<&Link> {
         self.port
-            .get(&(from.0, to.0))
-            .map(|&l| &self.net.links[l as usize])
+            .lookup(from, to)
+            .map(|l| &self.net.links[l as usize])
     }
 
     /// The path resolver in force at `now`: the epoch resolver of the
@@ -151,7 +237,7 @@ impl SimApi<'_, '_> {
     pub fn send_datagram(&mut self, dst: NodeId, bytes: u32, meta: u64) -> bool {
         let Some(path) = route_arc(
             self.shared,
-            self.state,
+            &mut self.state.route_cache,
             self.profile,
             self.host,
             dst,
@@ -163,20 +249,19 @@ impl SimApi<'_, '_> {
         let counter = &mut self.state.flow_counter[self.host.index()];
         let flow = FlowId::new(self.host, *counter);
         *counter += 1;
-        let rpath: Arc<[NodeId]> = path.iter().rev().copied().collect();
         let pkt = Packet {
             flow,
-            kind: PacketKind::Datagram,
+            meta,
+            path,
+            dst,
             seq: 0,
             size_bytes: bytes + HEADER_BYTES,
-            path,
-            rpath,
             hop: 0,
-            meta,
+            kind: PacketKind::Datagram,
         };
         transmit(
             self.shared,
-            self.state,
+            &mut self.state.busy_until,
             self.profile,
             self.emitter,
             pkt,
@@ -235,11 +320,22 @@ impl AppLogic for NoApp {
     fn on_timer(&mut self, _: NodeId, _: u64, _: &mut SimApi<'_, '_>) {}
 }
 
-/// Sender-side bookkeeping for one flow.
-struct FlowState {
-    sender: TcpSender,
+/// The per-host counter packed into a [`FlowId`]'s low 32 bits.
+#[inline]
+fn flow_counter_of(flow: FlowId) -> u32 {
+    (flow.0 & 0xFFFF_FFFF) as u32
+}
+
+/// Cold per-flow sender bookkeeping: touched at flow setup, RTO
+/// fail-over, and teardown, but not on the per-ACK hot path (only its
+/// `path`/`dst` words are read there, to stamp outgoing packets).
+struct FlowCold {
+    /// Forward path; the `Arc` is interned per `(epoch, src, dst)` by
+    /// the world's route cache, so concurrent flows between the same
+    /// pair share one allocation.
     path: Arc<[NodeId]>,
-    rpath: Arc<[NodeId]>,
+    /// Flow destination, cached out of the path.
+    dst: NodeId,
     /// Epoch of the currently armed RTO timer.
     armed_epoch: u32,
     /// The last fault-driven re-resolution found no path (colors the
@@ -247,9 +343,118 @@ struct FlowState {
     unroutable: bool,
 }
 
-impl FlowState {
-    fn destination(&self) -> NodeId {
-        *self.path.last().expect("paths are non-empty")
+/// Struct-of-arrays slab of active TCP senders, replacing the former
+/// `HashMap<FlowId, FlowState>`.
+///
+/// Storage is slot-indexed: `hot[slot]` holds the TCP state machine
+/// (the only thing the per-ACK hot path mutates), `cold[slot]` the
+/// path/bookkeeping, and freed slots are recycled LIFO through `free`.
+/// Lookup goes through a dense per-node index of `(flow counter, slot)`
+/// pairs — per-host counters are monotone, so appends keep each index
+/// sorted and lookup is a binary search over a short, cache-dense
+/// array. Slot assignment is a pure function of the world's event
+/// sequence (pop order of a LIFO free list), but slots are never
+/// exposed: the semantic key is always `(node, counter)`.
+struct FlowSlab {
+    /// Hot per-flow TCP state machines.
+    hot: Vec<TcpSender>,
+    /// Cold per-flow bookkeeping, parallel to `hot`.
+    cold: Vec<FlowCold>,
+    /// Recycled slots, reused LIFO.
+    free: Vec<u32>,
+    /// Per-node `(flow counter, slot)` pairs, sorted by counter.
+    by_node: Vec<Vec<(u32, u32)>>,
+    /// Shared empty path installed in freed slots so the real path
+    /// `Arc` is released as soon as the flow ends.
+    empty: Arc<[NodeId]>,
+}
+
+impl FlowSlab {
+    fn new(nodes: usize) -> Self {
+        FlowSlab {
+            hot: Vec::new(),
+            cold: Vec::new(),
+            free: Vec::new(),
+            by_node: vec![Vec::new(); nodes],
+            empty: Arc::from([]),
+        }
+    }
+
+    /// Store a freshly opened flow; recycles a freed slot when one is
+    /// available.
+    fn insert(&mut self, node: NodeId, flow: FlowId, sender: TcpSender, cold: FlowCold) {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.hot[s as usize] = sender;
+                self.cold[s as usize] = cold;
+                s
+            }
+            None => {
+                self.hot.push(sender);
+                self.cold.push(cold);
+                (self.hot.len() - 1) as u32
+            }
+        };
+        let index = &mut self.by_node[node.index()];
+        debug_assert!(
+            index.last().is_none_or(|&(c, _)| c < flow_counter_of(flow)),
+            "per-host flow counters are monotone"
+        );
+        index.push((flow_counter_of(flow), slot));
+    }
+
+    /// The slot of `flow` at `node`, if the flow is still active.
+    fn slot_of(&self, node: NodeId, flow: FlowId) -> Option<usize> {
+        let index = &self.by_node[node.index()];
+        index
+            .binary_search_by_key(&flow_counter_of(flow), |&(c, _)| c)
+            .ok()
+            .map(|i| index[i].1 as usize)
+    }
+
+    /// Release a finished flow's slot for reuse and drop its path.
+    fn free(&mut self, node: NodeId, flow: FlowId) {
+        let index = &mut self.by_node[node.index()];
+        if let Ok(i) = index.binary_search_by_key(&flow_counter_of(flow), |&(c, _)| c) {
+            let (_, slot) = index.remove(i);
+            self.cold[slot as usize].path = self.empty.clone();
+            self.free.push(slot);
+        }
+    }
+}
+
+/// Struct-of-arrays slab of TCP receivers, replacing the former
+/// `HashMap<FlowId, TcpReceiver>`. Receiver entries live at the
+/// *destination* LP and are never freed (the sender cannot reach across
+/// LPs to close them — LP locality); they are bounded by the flow count
+/// and each is a two-word cumulative-ACK machine.
+struct ReceiverSlab {
+    state: Vec<TcpReceiver>,
+    /// Per-node `(flow, slot)` pairs, sorted by flow id.
+    by_node: Vec<Vec<(FlowId, u32)>>,
+}
+
+impl ReceiverSlab {
+    fn new(nodes: usize) -> Self {
+        ReceiverSlab {
+            state: Vec::new(),
+            by_node: vec![Vec::new(); nodes],
+        }
+    }
+
+    /// The receiver for `flow` at `node`, created on first touch.
+    fn entry(&mut self, node: NodeId, flow: FlowId) -> &mut TcpReceiver {
+        let index = &mut self.by_node[node.index()];
+        let slot = match index.binary_search_by_key(&flow, |&(f, _)| f) {
+            Ok(i) => index[i].1,
+            Err(i) => {
+                let slot = self.state.len() as u32;
+                self.state.push(TcpReceiver::default());
+                index.insert(i, (flow, slot));
+                slot
+            }
+        };
+        &mut self.state[slot as usize]
     }
 }
 
@@ -261,25 +466,33 @@ struct NodeStates {
     /// Transmit-server state per (link, direction): the time the link
     /// becomes free. Direction 0 sends from `link.a`, 1 from `link.b`.
     busy_until: Vec<SimTime>,
-    /// Active TCP senders, keyed by flow (owned by the source host).
-    senders: HashMap<FlowId, FlowState>,
-    /// TCP receivers, keyed by flow (owned by the destination host).
-    receivers: HashMap<FlowId, TcpReceiver>,
+    /// Active TCP senders (owned by the source host).
+    flows: FlowSlab,
+    /// TCP receivers (owned by the destination host).
+    receivers: ReceiverSlab,
     /// Memoized path resolutions, sharded by source node. Routes are
     /// only resolved while handling an event at the source's LP, so
     /// each shard is owned by exactly one partition — per-run state
     /// that stays bit-identical across executors (see `route_arc`).
+    /// Doubles as the world's path *interning* table: every packet of a
+    /// flow (and every concurrent flow between the same pair in the
+    /// same epoch) shares the one `Arc` cached here.
     route_cache: RouteCache,
+    /// Reusable `SendAction` buffer, taken (and returned empty) by each
+    /// handler batch so the steady-state hot path allocates nothing.
+    action_scratch: Vec<SendAction>,
 }
 
 impl NodeStates {
     fn new(shared: &SharedNet, route_cache_capacity: usize) -> Self {
+        let nodes = shared.net.node_count();
         NodeStates {
-            flow_counter: vec![0; shared.net.node_count()],
+            flow_counter: vec![0; nodes],
             busy_until: vec![SimTime::ZERO; shared.net.links.len() * 2],
-            senders: HashMap::new(),
-            receivers: HashMap::new(),
-            route_cache: RouteCache::new(shared.net.node_count(), route_cache_capacity),
+            flows: FlowSlab::new(nodes),
+            receivers: ReceiverSlab::new(nodes),
+            route_cache: RouteCache::new(nodes, route_cache_capacity),
+            action_scratch: Vec::new(),
         }
     }
 }
@@ -340,7 +553,7 @@ impl<A: AppLogic> NetWorld<A> {
 /// any thread count or partitioning.
 fn route_arc(
     shared: &SharedNet,
-    state: &mut NodeStates,
+    cache: &mut RouteCache,
     profile: &mut ProfileData,
     src: NodeId,
     dst: NodeId,
@@ -354,31 +567,29 @@ fn route_arc(
         Some(f) => f.epoch_at(now) as u32,
         None => 0,
     };
-    state
-        .route_cache
-        .get_or_insert_with(&mut profile.route_cache, epoch, src, dst, || {
-            let path = shared.resolver_at(now).route_arc(src, dst);
-            if let Some(p) = &path {
-                debug_assert!(p.len() >= 2);
-            }
-            path
-        })
+    cache.get_or_insert_with(&mut profile.route_cache, epoch, src, dst, || {
+        let path = shared.resolver_at(now).route_arc(src, dst);
+        if let Some(p) = &path {
+            debug_assert!(p.len() >= 2);
+        }
+        path
+    })
 }
 
-/// Put `pkt` on the wire at `pkt.path[pkt.hop] → pkt.path[pkt.hop+1]`.
-/// Applies store-and-forward serialization, FIFO queueing, and drop-tail
-/// loss; schedules the arrival at the next hop. Packets offered to a
-/// dead link or dead endpoint are counted as fault drops.
+/// Put `pkt` on the wire at `node_at(hop) → node_at(hop+1)`. Applies
+/// store-and-forward serialization, FIFO queueing, and drop-tail loss;
+/// schedules the arrival at the next hop. Packets offered to a dead
+/// link or dead endpoint are counted as fault drops.
 fn transmit(
     shared: &SharedNet,
-    state: &mut NodeStates,
+    busy_until: &mut [SimTime],
     profile: &mut ProfileData,
     emitter: &mut Emitter<'_, NetEvent>,
     mut pkt: Packet,
     now: SimTime,
 ) {
-    let from = pkt.path[pkt.hop as usize];
-    let to = pkt.path[pkt.hop as usize + 1];
+    let from = pkt.node_at(pkt.hop as usize);
+    let to = pkt.node_at(pkt.hop as usize + 1);
     let link = shared
         .link_between(from, to)
         .expect("resolved paths follow existing links");
@@ -391,7 +602,7 @@ fn transmit(
     let dir = usize::from(from != link.a);
     let slot = link.id.index() * 2 + dir;
 
-    let busy = state.busy_until[slot];
+    let busy = busy_until[slot];
     let depart = busy.max(now);
     // Bytes already queued = backlog time × line rate.
     let backlog_bytes =
@@ -401,7 +612,7 @@ fn transmit(
         return;
     }
     let tx = SimTime::from_secs_f64(pkt.size_bytes as f64 * 8.0 / link.bandwidth_bps);
-    state.busy_until[slot] = depart + tx;
+    busy_until[slot] = depart + tx;
     profile.link_packets[link.id.index()] += 1;
 
     let arrival_delay = (depart + tx + SimTime::from_ms_f64(link.latency_ms)) - now;
@@ -421,28 +632,42 @@ fn start_tcp_flow_inner(
     bytes: u64,
     now: SimTime,
 ) -> Option<FlowId> {
-    let Some(path) = route_arc(shared, state, profile, src, dst, now) else {
+    let Some(path) = route_arc(shared, &mut state.route_cache, profile, src, dst, now) else {
         profile.unroutable += 1;
         return None;
     };
-    let rpath: Arc<[NodeId]> = path.iter().rev().copied().collect();
     let counter = &mut state.flow_counter[src.index()];
     let flow = FlowId::new(src, *counter);
     *counter += 1;
 
     let mut sender = TcpSender::new(bytes);
-    let mut actions = Vec::new();
+    let mut actions = std::mem::take(&mut state.action_scratch);
     sender.open(now, &mut actions);
-    let mut fs = FlowState {
+    apply_actions(
+        shared,
+        &mut state.busy_until,
+        profile,
+        emitter,
+        flow,
+        &path,
+        dst,
+        &mut actions,
+        now,
+    );
+    state.action_scratch = actions;
+    let mut armed_epoch = u32::MAX;
+    arm_timer(emitter, src, flow, &sender, &mut armed_epoch);
+    state.flows.insert(
+        src,
+        flow,
         sender,
-        path,
-        rpath,
-        armed_epoch: u32::MAX,
-        unroutable: false,
-    };
-    apply_actions(shared, state, profile, emitter, &mut fs, flow, actions, now);
-    arm_timer(emitter, src, flow, &mut fs);
-    state.senders.insert(flow, fs);
+        FlowCold {
+            path,
+            dst,
+            armed_epoch,
+            unroutable: false,
+        },
+    );
     Some(flow)
 }
 
@@ -455,34 +680,37 @@ enum FlowOutcome {
 }
 
 /// Turn sender actions into packets; reports whether the flow ended.
+/// Drains `actions`, leaving the (capacity-retaining) buffer empty for
+/// reuse.
 #[allow(clippy::too_many_arguments)]
 fn apply_actions(
     shared: &SharedNet,
-    state: &mut NodeStates,
+    busy_until: &mut [SimTime],
     profile: &mut ProfileData,
     emitter: &mut Emitter<'_, NetEvent>,
-    fs: &mut FlowState,
     flow: FlowId,
-    actions: Vec<SendAction>,
+    path: &Arc<[NodeId]>,
+    dst: NodeId,
+    actions: &mut Vec<SendAction>,
     now: SimTime,
 ) -> FlowOutcome {
     let mut outcome = FlowOutcome::Active;
-    for action in actions {
+    for action in actions.drain(..) {
         match action {
             SendAction::Transmit { seq } => {
                 let pkt = Packet {
                     flow,
-                    kind: PacketKind::Data,
+                    meta: 0,
+                    path: path.clone(),
+                    dst,
                     seq,
                     // Every segment modeled at full MSS; final-segment
                     // byte-exactness does not affect load shaping.
                     size_bytes: MSS + HEADER_BYTES,
-                    path: fs.path.clone(),
-                    rpath: fs.rpath.clone(),
                     hop: 0,
-                    meta: 0,
+                    kind: PacketKind::Data,
                 };
-                transmit(shared, state, profile, emitter, pkt, now);
+                transmit(shared, busy_until, profile, emitter, pkt, now);
             }
             SendAction::Complete => outcome = FlowOutcome::Completed,
             SendAction::Abort => outcome = FlowOutcome::Aborted,
@@ -493,15 +721,21 @@ fn apply_actions(
 
 /// (Re-)arm the RTO timer when needed and not already armed for the
 /// current epoch.
-fn arm_timer(emitter: &mut Emitter<'_, NetEvent>, host: NodeId, flow: FlowId, fs: &mut FlowState) {
-    if fs.sender.needs_timer() && fs.armed_epoch != fs.sender.timer_epoch {
-        fs.armed_epoch = fs.sender.timer_epoch;
+fn arm_timer(
+    emitter: &mut Emitter<'_, NetEvent>,
+    host: NodeId,
+    flow: FlowId,
+    sender: &TcpSender,
+    armed_epoch: &mut u32,
+) {
+    if sender.needs_timer() && *armed_epoch != sender.timer_epoch {
+        *armed_epoch = sender.timer_epoch;
         emitter.emit(
-            fs.sender.rto,
+            sender.rto,
             LpId(host.0),
             NetEvent::RtoTimer {
                 flow,
-                epoch: fs.sender.timer_epoch,
+                epoch: sender.timer_epoch,
             },
         );
     }
@@ -529,7 +763,7 @@ impl<A: AppLogic> Model for NetWorld<A> {
                 // endpoint died is lost (checked at arrival time; `hop`
                 // was already advanced past the traversed link).
                 if let Some(f) = &shared.faults {
-                    let prev = pkt.path[pkt.hop as usize - 1];
+                    let prev = pkt.node_at(pkt.hop as usize - 1);
                     let link_up = shared
                         .link_between(prev, node)
                         .is_some_and(|l| f.is_link_up(l.id, now));
@@ -540,43 +774,60 @@ impl<A: AppLogic> Model for NetWorld<A> {
                 }
                 profile.node_packets[node.index()] += 1;
                 if !pkt.at_destination() {
-                    transmit(shared, state, profile, out, pkt, now);
+                    transmit(shared, &mut state.busy_until, profile, out, pkt, now);
                     return;
                 }
                 match pkt.kind {
                     PacketKind::Data => {
-                        let recv = state.receivers.entry(pkt.flow).or_default();
+                        let recv = state.receivers.entry(node, pkt.flow);
                         let ack = recv.on_data(pkt.seq);
+                        // The ACK walks the *same* interned path in
+                        // reverse (kind = Ack); no second allocation.
                         let ack_pkt = Packet {
                             flow: pkt.flow,
-                            kind: PacketKind::Ack,
+                            meta: 0,
+                            path: pkt.path.clone(),
+                            dst: pkt.flow.source(),
                             seq: ack,
                             size_bytes: ACK_BYTES,
-                            path: pkt.rpath.clone(),
-                            rpath: pkt.path.clone(),
                             hop: 0,
-                            meta: 0,
+                            kind: PacketKind::Ack,
                         };
-                        transmit(shared, state, profile, out, ack_pkt, now);
+                        transmit(shared, &mut state.busy_until, profile, out, ack_pkt, now);
                     }
                     PacketKind::Ack => {
-                        let Some(mut fs) = state.senders.remove(&pkt.flow) else {
+                        let Some(slot) = state.flows.slot_of(node, pkt.flow) else {
                             return; // flow already completed
                         };
-                        let mut actions = Vec::new();
-                        fs.sender.on_ack(pkt.seq, now, &mut actions);
+                        let mut actions = std::mem::take(&mut state.action_scratch);
+                        state.flows.hot[slot].on_ack(pkt.seq, now, &mut actions);
+                        let (path, dst) = {
+                            let cold = &state.flows.cold[slot];
+                            (cold.path.clone(), cold.dst)
+                        };
                         let outcome = apply_actions(
-                            shared, state, profile, out, &mut fs, pkt.flow, actions, now,
+                            shared,
+                            &mut state.busy_until,
+                            profile,
+                            out,
+                            pkt.flow,
+                            &path,
+                            dst,
+                            &mut actions,
+                            now,
                         );
+                        state.action_scratch = actions;
                         match outcome {
                             FlowOutcome::Completed => {
                                 profile.completed_flows += 1;
-                                profile.completed_segments += fs.sender.total_segments as u64;
+                                profile.completed_segments +=
+                                    state.flows.hot[slot].total_segments as u64;
                                 // NOTE: the receiver-side entry lives at
                                 // the *destination* LP and must not be
                                 // touched from here (LP locality); it is
                                 // simply left behind, bounded by the
                                 // flow count.
+                                state.flows.free(node, pkt.flow);
                                 let mut api = SimApi {
                                     host: node,
                                     now,
@@ -591,8 +842,13 @@ impl<A: AppLogic> Model for NetWorld<A> {
                             // exhaust the retry budget.
                             FlowOutcome::Aborted => unreachable!("ACKs cannot abort a flow"),
                             FlowOutcome::Active => {
-                                arm_timer(out, node, pkt.flow, &mut fs);
-                                state.senders.insert(pkt.flow, fs);
+                                arm_timer(
+                                    out,
+                                    node,
+                                    pkt.flow,
+                                    &state.flows.hot[slot],
+                                    &mut state.flows.cold[slot].armed_epoch,
+                                );
                             }
                         }
                     }
@@ -612,46 +868,61 @@ impl<A: AppLogic> Model for NetWorld<A> {
                 }
             }
             NetEvent::RtoTimer { flow, epoch } => {
-                let Some(mut fs) = state.senders.remove(&flow) else {
+                let Some(slot) = state.flows.slot_of(node, flow) else {
                     return;
                 };
-                if fs.sender.timer_epoch != epoch {
-                    state.senders.insert(flow, fs); // stale timer
-                    return;
+                if state.flows.hot[slot].timer_epoch != epoch {
+                    return; // stale timer
                 }
-                fs.armed_epoch = u32::MAX;
+                state.flows.cold[slot].armed_epoch = u32::MAX;
                 // Under fault injection a timeout may mean the path died:
                 // re-resolve against the current epoch and fail over to
                 // the reconverged path before retransmitting. (Skipped
                 // entirely in fault-free runs, whose behavior must not
                 // change.)
                 if shared.faults.is_some() {
-                    match route_arc(shared, state, profile, node, fs.destination(), now) {
+                    let dst = state.flows.cold[slot].dst;
+                    match route_arc(shared, &mut state.route_cache, profile, node, dst, now) {
                         Some(path) => {
-                            fs.unroutable = false;
-                            if path != fs.path {
-                                fs.rpath = path.iter().rev().copied().collect();
-                                fs.path = path;
+                            let cold = &mut state.flows.cold[slot];
+                            cold.unroutable = false;
+                            if path != cold.path {
+                                cold.path = path;
                             }
                         }
-                        None => fs.unroutable = true,
+                        None => state.flows.cold[slot].unroutable = true,
                     }
                 }
-                let mut actions = Vec::new();
-                fs.sender.on_timeout(&mut actions);
-                let outcome =
-                    apply_actions(shared, state, profile, out, &mut fs, flow, actions, now);
+                let mut actions = std::mem::take(&mut state.action_scratch);
+                state.flows.hot[slot].on_timeout(&mut actions);
+                let (path, dst) = {
+                    let cold = &state.flows.cold[slot];
+                    (cold.path.clone(), cold.dst)
+                };
+                let outcome = apply_actions(
+                    shared,
+                    &mut state.busy_until,
+                    profile,
+                    out,
+                    flow,
+                    &path,
+                    dst,
+                    &mut actions,
+                    now,
+                );
+                state.action_scratch = actions;
                 match outcome {
                     FlowOutcome::Completed => unreachable!("timeout cannot complete a flow"),
                     FlowOutcome::Aborted => {
                         profile.aborted_flows += 1;
-                        let reason = if fs.unroutable {
+                        let reason = if state.flows.cold[slot].unroutable {
                             AbortReason::Unroutable
                         } else {
                             AbortReason::RetryBudgetExhausted
                         };
                         // As with completion, the receiver-side entry at
                         // the destination LP is left behind.
+                        state.flows.free(node, flow);
                         let mut api = SimApi {
                             host: node,
                             now,
@@ -663,8 +934,13 @@ impl<A: AppLogic> Model for NetWorld<A> {
                         app.on_flow_aborted(node, flow, reason, &mut api);
                     }
                     FlowOutcome::Active => {
-                        arm_timer(out, node, flow, &mut fs);
-                        state.senders.insert(flow, fs);
+                        arm_timer(
+                            out,
+                            node,
+                            flow,
+                            &state.flows.hot[slot],
+                            &mut state.flows.cold[slot].armed_epoch,
+                        );
                     }
                 }
             }
@@ -683,25 +959,25 @@ impl<A: AppLogic> Model for NetWorld<A> {
                 start_tcp_flow_inner(shared, state, profile, out, node, dst, bytes, now);
             }
             NetEvent::SendDatagram { dst, bytes, meta } => {
-                let Some(path) = route_arc(shared, state, profile, node, dst, now) else {
+                let Some(path) = route_arc(shared, &mut state.route_cache, profile, node, dst, now)
+                else {
                     profile.unroutable += 1;
                     return;
                 };
                 let counter = &mut state.flow_counter[node.index()];
                 let flow = FlowId::new(node, *counter);
                 *counter += 1;
-                let rpath: Arc<[NodeId]> = path.iter().rev().copied().collect();
                 let pkt = Packet {
                     flow,
-                    kind: PacketKind::Datagram,
+                    meta,
+                    path,
+                    dst,
                     seq: 0,
                     size_bytes: bytes + HEADER_BYTES,
-                    path,
-                    rpath,
                     hop: 0,
-                    meta,
+                    kind: PacketKind::Datagram,
                 };
-                transmit(shared, state, profile, out, pkt, now);
+                transmit(shared, &mut state.busy_until, profile, out, pkt, now);
             }
             NetEvent::Fault { kind: _kind } => {
                 profile.fault_events += 1;
@@ -963,6 +1239,49 @@ mod tests {
             SimTime::from_secs(1),
         );
         assert_eq!(world.app.0, vec![1400, 40]);
+    }
+
+    #[test]
+    fn port_table_matches_adjacency() {
+        let (shared, _, _) = dumbbell(100e6);
+        for link in &shared.net.links {
+            assert_eq!(
+                shared.link_between(link.a, link.b).map(|l| l.id),
+                Some(link.id)
+            );
+            assert_eq!(
+                shared.link_between(link.b, link.a).map(|l| l.id),
+                Some(link.id)
+            );
+        }
+        // Non-adjacent pairs miss: hosts a (0) and b (3) are 3 hops apart.
+        assert!(shared.link_between(NodeId(0), NodeId(3)).is_none());
+        assert!(shared.link_between(NodeId(0), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn flow_slab_recycles_slots_lifo() {
+        let mut slab = FlowSlab::new(2);
+        let n = NodeId(0);
+        let cold = |dst: u32| FlowCold {
+            path: Arc::from([]),
+            dst: NodeId(dst),
+            armed_epoch: u32::MAX,
+            unroutable: false,
+        };
+        for c in 0..3u32 {
+            slab.insert(n, FlowId::new(n, c), TcpSender::new(1000), cold(c));
+        }
+        assert_eq!(slab.slot_of(n, FlowId::new(n, 1)), Some(1));
+        slab.free(n, FlowId::new(n, 1));
+        assert_eq!(slab.slot_of(n, FlowId::new(n, 1)), None);
+        // Next insert reuses the freed slot, and lookup still resolves
+        // strictly by (node, counter).
+        slab.insert(n, FlowId::new(n, 3), TcpSender::new(1000), cold(3));
+        assert_eq!(slab.slot_of(n, FlowId::new(n, 3)), Some(1));
+        assert_eq!(slab.slot_of(n, FlowId::new(n, 0)), Some(0));
+        assert_eq!(slab.slot_of(n, FlowId::new(n, 2)), Some(2));
+        assert_eq!(slab.hot.len(), 3, "no growth while free slots exist");
     }
 }
 

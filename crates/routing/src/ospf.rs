@@ -19,9 +19,24 @@
 //! destination on the shared worker pool (reusing per-worker Dijkstra
 //! scratch buffers) and freezes the result into a lock-free read-only
 //! table, so post-warm queries from parallel engines never contend.
+//!
+//! ## Host aggregation
+//!
+//! Hosts attach to exactly one router, so a host's routes are its
+//! router's routes plus the single access link. The domain exploits
+//! this: members that are single-homed hosts are classified as
+//! *aggregated leaves* at build time and excluded from the Dijkstra
+//! graph entirely — SPTs (and their parent arrays, and the destination
+//! axis of the full table) cover only the *core* (routers plus any
+//! multi-homed or isolated oddballs). Queries compose a leaf endpoint as
+//! `[host] + core walk from its attach router` (and symmetrically at the
+//! destination), which is exact because the access link is the host's
+//! only edge. For the paper's topologies — tens of hosts per router —
+//! this shrinks routing state by the host:router ratio squared for a
+//! warmed table: one routing entry per attached router, not per host.
 
 // simlint: allow-file(cast-lossy) -- local router indices are positions in `members`, bounded by the domain size which is far below u32::MAX
-use massf_topology::{Network, NodeId};
+use massf_topology::{Network, NodeId, NodeKind};
 use parking_lot::Mutex;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::OnceLock;
@@ -56,8 +71,10 @@ impl CostMetric {
 /// are recovered by walking parents (see the module docs).
 #[derive(Debug, Clone)]
 struct Spt {
-    /// `parent[i]` = local index of next hop from member `i` toward the
-    /// destination; `u32::MAX` when unreachable or at the destination.
+    /// `parent[i]` = core index of next hop from core member `i` toward
+    /// the destination; `u32::MAX` when unreachable or at the
+    /// destination. Aggregated leaves have no row — they resolve through
+    /// their attach router's.
     parent: Box<[u32]>,
 }
 
@@ -80,8 +97,17 @@ pub struct OspfDomain {
     members: Vec<NodeId>,
     /// Global node id → local index (u32::MAX = not a member).
     local_of: Vec<u32>,
-    /// Local adjacency: `(neighbor local index, cost)`.
+    /// *Core* adjacency — aggregated leaves excluded — indexed by core
+    /// index: `(neighbor core index, cost)`.
     adj: Vec<Vec<(u32, u64)>>,
+    /// Member local index → core index; `u32::MAX` marks an aggregated
+    /// leaf (single-homed host, resolved through `attach`).
+    core_of: Box<[u32]>,
+    /// Core index → member local index (order-preserving compaction).
+    core_member: Box<[u32]>,
+    /// Per member local index, for aggregated leaves: `(attach router
+    /// core index, access-link cost)`. Core members hold `(u32::MAX, 0)`.
+    attach: Box<[(u32, u64)]>,
     metric: CostMetric,
     cache: Mutex<SptCache>,
     /// The full per-destination table installed by `warm_full_table`;
@@ -90,7 +116,7 @@ pub struct OspfDomain {
 }
 
 struct SptCache {
-    map: HashMap<u32, Spt>, // keyed by destination local index
+    map: HashMap<u32, Spt>, // keyed by destination *core* index
     order: VecDeque<u32>,   // FIFO for eviction
     capacity: usize,
     scratch: SptScratch, // reused across lazy Dijkstra runs
@@ -129,7 +155,7 @@ impl OspfDomain {
         for (i, &m) in members.iter().enumerate() {
             local_of[m.index()] = i as u32;
         }
-        let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); members.len()];
+        let mut full_adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); members.len()];
         for link in &net.links {
             if !alive(link) {
                 continue;
@@ -137,14 +163,72 @@ impl OspfDomain {
             let (la, lb) = (local_of[link.a.index()], local_of[link.b.index()]);
             if la != u32::MAX && lb != u32::MAX {
                 let c = metric.cost(link);
-                adj[la as usize].push((lb, c));
-                adj[lb as usize].push((la, c));
+                full_adj[la as usize].push((lb, c));
+                full_adj[lb as usize].push((la, c));
             }
         }
+
+        // Leaf classification: a host with exactly one distinct (alive,
+        // intra-domain) neighbor is aggregated behind that neighbor.
+        // Degenerate host–host pairs (each the other's only neighbor)
+        // stay in the core, so every leaf's attach point is a core node.
+        // Purely a function of members + alive links — deterministic.
+        let candidate: Vec<bool> = members
+            .iter()
+            .zip(&full_adj)
+            .map(|(&m, nbrs)| {
+                net.nodes[m.index()].kind == NodeKind::Host
+                    && !nbrs.is_empty()
+                    && nbrs.iter().all(|&(nb, _)| nb == nbrs[0].0)
+            })
+            .collect();
+        let is_leaf: Vec<bool> = candidate
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c && !candidate[full_adj[i][0].0 as usize])
+            .collect();
+
+        // Order-preserving core compaction.
+        let mut core_of = vec![u32::MAX; members.len()].into_boxed_slice();
+        let mut core_member = Vec::new();
+        for (i, &leaf) in is_leaf.iter().enumerate() {
+            if !leaf {
+                core_of[i] = core_member.len() as u32;
+                core_member.push(i as u32);
+            }
+        }
+
+        // Core adjacency (leaf edges dropped — no path routes *through*
+        // a degree-1 node) and leaf attach records (min cost over
+        // parallel access links, matching what Dijkstra would relax).
+        let mut adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); core_member.len()];
+        let mut attach = vec![(u32::MAX, 0u64); members.len()].into_boxed_slice();
+        for (i, nbrs) in full_adj.iter().enumerate() {
+            if is_leaf[i] {
+                let router = core_of[nbrs[0].0 as usize];
+                let cost = nbrs
+                    .iter()
+                    .map(|&(_, c)| c)
+                    .min()
+                    .expect("leaf has at least one access link");
+                attach[i] = (router, cost);
+            } else {
+                let ci = core_of[i] as usize;
+                adj[ci].extend(
+                    nbrs.iter()
+                        .filter(|&&(nb, _)| !is_leaf[nb as usize])
+                        .map(|&(nb, c)| (core_of[nb as usize], c)),
+                );
+            }
+        }
+
         OspfDomain {
             members,
             local_of,
             adj,
+            core_of,
+            core_member: core_member.into_boxed_slice(),
+            attach,
             metric,
             cache: Mutex::new(SptCache {
                 map: HashMap::new(),
@@ -171,8 +255,31 @@ impl OspfDomain {
         self.local_of[node.index()] != u32::MAX
     }
 
+    /// Number of core (non-aggregated) members — the size of every SPT
+    /// parent array and of the warmed table's destination axis.
+    pub fn core_count(&self) -> usize {
+        self.core_member.len()
+    }
+
+    /// The `NodeId` behind a core index.
+    fn core_node(&self, c: u32) -> NodeId {
+        self.members[self.core_member[c as usize] as usize]
+    }
+
+    /// Core anchor of member `l`: `(own core index, 0)` for core
+    /// members, `(attach router core index, access-link cost)` for
+    /// aggregated leaves.
+    fn anchor(&self, l: u32) -> (u32, u64) {
+        let c = self.core_of[l as usize];
+        if c != u32::MAX {
+            (c, 0)
+        } else {
+            self.attach[l as usize]
+        }
+    }
+
     fn compute_spt(&self, dst_local: u32, scratch: &mut SptScratch) -> Spt {
-        let n = self.members.len();
+        let n = self.core_member.len();
         scratch.dist.clear();
         scratch.dist.resize(n, u64::MAX);
         scratch.heap.clear();
@@ -200,8 +307,9 @@ impl OspfDomain {
         Spt { parent }
     }
 
-    /// Precompute the SPT of *every* destination on the shared worker
-    /// pool and freeze the result into a lock-free read-only table (the
+    /// Precompute the SPT of every *core* destination on the shared
+    /// worker pool (aggregated leaves need none — see the module docs)
+    /// and freeze the result into a lock-free read-only table (the
     /// bounded lazy cache is bypassed from then on, so warming is never
     /// undone by eviction and post-warm queries take no lock).
     ///
@@ -213,7 +321,7 @@ impl OspfDomain {
         if self.frozen.get().is_some() {
             return;
         }
-        let n = self.members.len();
+        let n = self.core_member.len();
         // Chunked fan-out so each worker reuses one Dijkstra scratch
         // (dist buffer + heap) across all its destinations.
         let spts: Vec<Spt> = massf_parutil::par_map_chunks(n, |range| {
@@ -264,9 +372,22 @@ impl OspfDomain {
         if ls == u32::MAX || ld == u32::MAX || ls == ld {
             return None;
         }
-        self.with_spt(ld, |spt| {
-            let p = spt.parent[ls as usize];
-            (p != u32::MAX).then(|| self.members[p as usize])
+        let (a, _) = self.anchor(ls);
+        let (b, _) = self.anchor(ld);
+        if self.core_of[ls as usize] == u32::MAX {
+            // Aggregated leaf: its only edge goes to the attach router —
+            // the answer whenever `dst` is reachable at all.
+            let reachable = a == b || self.with_spt(b, |spt| spt.parent[a as usize] != u32::MAX);
+            return reachable.then(|| self.core_node(a));
+        }
+        if a == b {
+            // `src` is `dst`'s attach router (ls != ld rules out the
+            // core–core case): one access-link hop remains.
+            return Some(dst);
+        }
+        self.with_spt(b, |spt| {
+            let p = spt.parent[a as usize];
+            (p != u32::MAX).then(|| self.core_node(p))
         })
     }
 
@@ -280,21 +401,10 @@ impl OspfDomain {
         if ls == ld {
             return Some(vec![src]);
         }
-        self.with_spt(ld, |spt| {
-            if spt.parent[ls as usize] == u32::MAX {
-                return None; // unreachable (ls != ld here)
-            }
-            // Count-then-fill: one exact allocation, no growth.
-            let len = 1 + walk_len(&spt.parent, ls, ld);
-            let mut path = Vec::with_capacity(len);
-            path.push(src);
-            let mut cur = ls;
-            while cur != ld {
-                cur = spt.parent[cur as usize];
-                path.push(self.members[cur as usize]);
-            }
-            Some(path)
-        })
+        // Count-then-fill inside `build_path`: one exact allocation.
+        let mut path = Vec::new();
+        self.build_path(ls, ld, src, dst, false, &mut path)
+            .then_some(path)
     }
 
     /// Append the shortest path `src → … → dst` to `out`, skipping `src`
@@ -314,18 +424,63 @@ impl OspfDomain {
             }
             return true;
         }
-        self.with_spt(ld, |spt| {
-            if spt.parent[ls as usize] == u32::MAX {
-                return false;
-            }
-            out.reserve(walk_len(&spt.parent, ls, ld) + usize::from(!skip_src));
+        self.build_path(ls, ld, src, dst, skip_src, out)
+    }
+
+    /// Append `src → … → dst` (`ls != ld`) composed from the aggregated
+    /// layout: `src`, then — when `src` is a leaf — its attach router,
+    /// then the core walk to `dst`'s anchor, then `dst` itself when it
+    /// is a leaf. Exact because an access link is a leaf's only edge.
+    /// Returns `false` (leaving `out` untouched) when unreachable.
+    fn build_path(
+        &self,
+        ls: u32,
+        ld: u32,
+        src: NodeId,
+        dst: NodeId,
+        skip_src: bool,
+        out: &mut Vec<NodeId>,
+    ) -> bool {
+        let (a, _) = self.anchor(ls);
+        let (b, _) = self.anchor(ld);
+        let src_is_leaf = self.core_of[ls as usize] == u32::MAX;
+        let dst_is_leaf = self.core_of[ld as usize] == u32::MAX;
+        let fixed = usize::from(!skip_src) + usize::from(src_is_leaf) + usize::from(dst_is_leaf);
+        if a == b {
+            // Shared anchor: the core leg collapses to that one router
+            // (covers host→router, router→host, and host→host behind
+            // the same router; a == b with both ends core means ls ==
+            // ld, which the callers already handled).
+            out.reserve(fixed);
             if !skip_src {
                 out.push(src);
             }
-            let mut cur = ls;
-            while cur != ld {
+            if src_is_leaf {
+                out.push(self.core_node(a));
+            }
+            if dst_is_leaf {
+                out.push(dst);
+            }
+            return true;
+        }
+        self.with_spt(b, |spt| {
+            if spt.parent[a as usize] == u32::MAX {
+                return false;
+            }
+            out.reserve(fixed + walk_len(&spt.parent, a, b));
+            if !skip_src {
+                out.push(src);
+            }
+            if src_is_leaf {
+                out.push(self.core_node(a));
+            }
+            let mut cur = a;
+            while cur != b {
                 cur = spt.parent[cur as usize];
-                out.push(self.members[cur as usize]);
+                out.push(self.core_node(cur));
+            }
+            if dst_is_leaf {
+                out.push(dst);
             }
             true
         })
@@ -334,7 +489,8 @@ impl OspfDomain {
     /// Shortest distance (in metric units), or `None` if unreachable.
     /// Recomputed as the cost sum along the parent walk (the SPT stores
     /// only parents; the sum of minimal edge costs along the tree path
-    /// is exactly the distance Dijkstra converged to).
+    /// is exactly the distance Dijkstra converged to), plus the access
+    /// links of any aggregated-leaf endpoints.
     pub fn distance(&self, src: NodeId, dst: NodeId) -> Option<u64> {
         let (ls, ld) = (self.local_of[src.index()], self.local_of[dst.index()]);
         if ls == u32::MAX || ld == u32::MAX {
@@ -343,13 +499,18 @@ impl OspfDomain {
         if ls == ld {
             return Some(0);
         }
-        self.with_spt(ld, |spt| {
-            if spt.parent[ls as usize] == u32::MAX {
+        let (a, ca) = self.anchor(ls);
+        let (b, cb) = self.anchor(ld);
+        if a == b {
+            return Some(ca + cb);
+        }
+        self.with_spt(b, |spt| {
+            if spt.parent[a as usize] == u32::MAX {
                 return None;
             }
-            let mut total = 0u64;
-            let mut cur = ls;
-            while cur != ld {
+            let mut total = ca + cb;
+            let mut cur = a;
+            while cur != b {
                 let p = spt.parent[cur as usize];
                 total += self.min_edge_cost(cur, p);
                 cur = p;
@@ -561,6 +722,82 @@ mod tests {
             "must detour via node 2"
         );
         assert_eq!(d.distance(ids[0], ids[3]), Some(6_000_000)); // 6 ms in ns
+    }
+
+    /// Diamond of routers with two hosts on router 0 and one on router 3.
+    fn diamond_with_hosts() -> (Network, Vec<NodeId>, Vec<NodeId>) {
+        let (mut net, routers) = diamond();
+        let h0 = net.add_node(NodeKind::Host, Point::new(0.0, 1.0), AsId(0));
+        let h1 = net.add_node(NodeKind::Host, Point::new(0.0, 2.0), AsId(0));
+        let h3 = net.add_node(NodeKind::Host, Point::new(3.0, 1.0), AsId(0));
+        net.add_link(routers[0], h0, 1e9, 0.5);
+        net.add_link(routers[0], h1, 1e9, 0.25);
+        net.add_link(routers[3], h3, 1e9, 1.0);
+        let members = routers.iter().copied().chain([h0, h1, h3]).collect();
+        (net, routers, members)
+    }
+
+    #[test]
+    fn hosts_aggregate_behind_their_router() {
+        let (net, routers, members) = diamond_with_hosts();
+        let d = OspfDomain::new(&net, members.clone(), CostMetric::Latency);
+        // Only the four routers are core; three hosts share their rows.
+        assert_eq!(d.core_count(), 4);
+        assert_eq!(d.member_count(), 7);
+        let (h0, h3) = (members[4], members[6]);
+        // Host → host crosses the diamond via the cheap branch.
+        assert_eq!(
+            d.path(h0, h3),
+            Some(vec![h0, routers[0], routers[1], routers[3], h3])
+        );
+        // 0.5 + 1 + 1 + 1 ms.
+        assert_eq!(d.distance(h0, h3), Some(3_500_000));
+        assert_eq!(d.distance(h0, h3), d.distance(h3, h0));
+        assert_eq!(d.next_hop(h0, h3), Some(routers[0]));
+        assert_eq!(d.next_hop(routers[3], h3), Some(h3));
+        assert_eq!(d.next_hop(routers[1], h3), Some(routers[3]));
+    }
+
+    #[test]
+    fn host_routes_around_its_own_router() {
+        let (net, routers, members) = diamond_with_hosts();
+        let d = OspfDomain::new(&net, members.clone(), CostMetric::Latency);
+        let (h0, h1) = (members[4], members[5]);
+        // Same attach router: the core leg is that single router.
+        assert_eq!(d.path(h0, h1), Some(vec![h0, routers[0], h1]));
+        assert_eq!(d.distance(h0, h1), Some(750_000)); // 0.5 + 0.25 ms
+                                                       // Host ↔ its attach router.
+        assert_eq!(d.path(h0, routers[0]), Some(vec![h0, routers[0]]));
+        assert_eq!(d.path(routers[0], h0), Some(vec![routers[0], h0]));
+        assert_eq!(d.distance(h0, routers[0]), Some(500_000));
+        assert_eq!(d.next_hop(h0, routers[0]), Some(routers[0]));
+        assert_eq!(d.next_hop(routers[0], h0), Some(h0));
+        assert_eq!(d.path(h0, h0), Some(vec![h0]));
+    }
+
+    #[test]
+    fn aggregated_hosts_survive_warm_and_faults() {
+        let (net, routers, members) = diamond_with_hosts();
+        let lazy = OspfDomain::new(&net, members.clone(), CostMetric::Latency);
+        let warmed = OspfDomain::with_cache_capacity(&net, members.clone(), CostMetric::Latency, 1);
+        warmed.warm_full_table();
+        for &s in &members {
+            for &t in &members {
+                assert_eq!(lazy.path(s, t), warmed.path(s, t), "{s:?}→{t:?}");
+                assert_eq!(lazy.distance(s, t), warmed.distance(s, t));
+                assert_eq!(lazy.next_hop(s, t), warmed.next_hop(s, t));
+            }
+        }
+        // Kill h3's access link: the host becomes an unreachable
+        // (isolated, hence core) member; everyone else still routes.
+        let h3 = members[6];
+        let faulted = OspfDomain::with_link_filter(&net, members, CostMetric::Latency, 1024, |l| {
+            l.a != h3 && l.b != h3
+        });
+        assert_eq!(faulted.path(routers[0], h3), None);
+        assert_eq!(faulted.next_hop(h3, routers[0]), None);
+        assert_eq!(faulted.distance(h3, h3), Some(0));
+        assert!(faulted.path(routers[0], routers[3]).is_some());
     }
 
     #[test]

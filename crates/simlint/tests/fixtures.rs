@@ -56,6 +56,17 @@ fn d2_atomic_min_pattern_is_clean() {
 }
 
 #[test]
+fn d1_route_interning_pattern_is_clean() {
+    // The million-host layout's interning table (point HashMap lookups
+    // only) and CSR port table (sorted-array walks) must pass every
+    // rule without suppressions in the crates that use the pattern.
+    for krate in ["netsim", "engine", "routing"] {
+        let found = scan_fixture("route_interning.rs", krate);
+        assert!(found.is_empty(), "{krate}: {found:?}");
+    }
+}
+
+#[test]
 fn d3_entropy_fixture() {
     let found = scan_fixture("d3_entropy.rs", "engine");
     assert_eq!(found.len(), 2, "{found:?}");

@@ -39,6 +39,8 @@ if [ "$FAST" -eq 0 ]; then
     cargo bench -q -p massf-bench --bench route_resolution -- --smoke
     echo "== engine_hotpath --smoke =="
     cargo bench -q -p massf-bench --bench engine_hotpath -- --smoke
+    echo "== mem_footprint --smoke =="
+    cargo run --release -q -p massf-bench --features alloc-count --bin mem_footprint -- --smoke
 else
     echo "== release-mode smoke runs skipped (--fast) =="
 fi
