@@ -10,10 +10,13 @@
 //! Extra flags on top of the shared harness set:
 //!
 //! ```text
-//! --flaps N      number of link flaps to script (default: 12)
-//! --down-ms MS   downtime per flap, milliseconds (default: 2000)
-//! --smoke        tiny network, short run, self-checking (used by
-//!                scripts/check.sh)
+//! --flaps N        number of link flaps to script (default: 12)
+//! --down-ms MS     downtime per flap, milliseconds (default: 2000)
+//! --max-retries N  TCP retry budget before a flow aborts (default: 6);
+//!                  lower it to make flows give up inside a flap window,
+//!                  raise it to ride the outage out
+//! --smoke          tiny network, short run, self-checking (used by
+//!                  scripts/check.sh)
 //! ```
 //!
 //! The report is bit-identical across `--threads` values: fault state is
@@ -23,7 +26,9 @@
 
 use massf_bench::{HarnessOptions, MeasuredBarriers};
 use massf_core::prelude::*;
-use massf_netsim::{Agent, FaultScript, FaultState, NetSimBuilder, NoApp, ProfileData, SimOutput};
+use massf_netsim::{
+    Agent, FaultScript, FaultState, NetSimBuilder, NoApp, ProfileData, SimOutput, MAX_RETRIES,
+};
 use massf_routing::{CostMetric, FlatResolver};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -33,6 +38,7 @@ struct StudyOptions {
     harness: HarnessOptions,
     flaps: usize,
     down: SimTime,
+    max_retries: u32,
     smoke: bool,
 }
 
@@ -41,6 +47,7 @@ fn parse_extra(harness: HarnessOptions, rest: Vec<String>) -> StudyOptions {
         harness,
         flaps: 12,
         down: SimTime::from_ms(2000),
+        max_retries: MAX_RETRIES,
         smoke: false,
     };
     let mut iter = rest.into_iter();
@@ -68,9 +75,18 @@ fn parse_extra(harness: HarnessOptions, rest: Vec<String>) -> StudyOptions {
                     )),
                 };
             }
+            "--max-retries" => {
+                let v = value("--max-retries");
+                opts.max_retries = match v.parse() {
+                    Ok(n) => n,
+                    Err(_) => HarnessOptions::usage_exit(&format!(
+                        "--max-retries must be a number, got {v:?}"
+                    )),
+                };
+            }
             "--smoke" => opts.smoke = true,
             other => HarnessOptions::usage_exit(&format!(
-                "unknown argument {other:?} (extra flags: --flaps/--down-ms/--smoke)"
+                "unknown argument {other:?} (extra flags: --flaps/--down-ms/--max-retries/--smoke)"
             )),
         }
     }
@@ -158,6 +174,7 @@ fn main() {
                 NetSimBuilder::new(net.clone(), resolver)
             }
         };
+        builder.max_retries(opts.max_retries);
         builder.add_agent(traffic(&hosts, duration, flows, seed));
         builder.run_sequential(NoApp, duration)
     };
@@ -171,11 +188,12 @@ fn main() {
 
     println!("== fault_flap_study ({scale:?}, seed {seed}) ==");
     println!(
-        "network: {} nodes / {} links, {} flows over {:.0}s",
+        "network: {} nodes / {} links, {} flows over {:.0}s, TCP retry budget {}",
         net.node_count(),
         net.links.len(),
         flows,
-        duration.as_secs_f64()
+        duration.as_secs_f64(),
+        opts.max_retries
     );
 
     // Packet-loss windows: the faulty epochs, with their failure state.
@@ -351,6 +369,7 @@ fn main() {
             }
         }
         let mut builder = NetSimBuilder::new_with_faults(net.clone(), faults.clone());
+        builder.max_retries(opts.max_retries);
         builder.add_agent(traffic(&hosts, duration, flows, seed));
         let observer = MeasuredBarriers::new(2);
         let par = builder

@@ -22,6 +22,7 @@
 
 use crate::event::{EventRecord, LpId};
 use crate::time::SimTime;
+use massf_topology::MassfError;
 use std::cmp::Ordering;
 
 /// A generation-checked reference to a payload slot in an
@@ -91,6 +92,27 @@ impl<M> EventArena<M> {
         self.gens[i] = self.gens[i].wrapping_add(1);
         self.free.push(handle.index);
         payload
+    }
+
+    /// Fallible form of [`EventArena::take`]: returns
+    /// [`MassfError::StaleEventHandle`] instead of panicking when the
+    /// handle is stale or out of range. The `try_` executors and the
+    /// snapshot restore/drain paths use this so that slab misuse
+    /// surfaces as a structured error, never a panic; the infallible
+    /// hot loop keeps the assert-based [`EventArena::take`].
+    pub fn try_take(&mut self, handle: EventHandle) -> Result<M, MassfError> {
+        let i = handle.index as usize;
+        let stale = || MassfError::StaleEventHandle {
+            index: handle.index,
+            gen: handle.gen,
+        };
+        if self.gens.get(i) != Some(&handle.gen) {
+            return Err(stale());
+        }
+        let payload = self.slots[i].take().ok_or_else(stale)?;
+        self.gens[i] = self.gens[i].wrapping_add(1);
+        self.free.push(handle.index);
+        Ok(payload)
     }
 
     /// Payloads currently stored.
@@ -193,6 +215,22 @@ mod tests {
         arena.take(h);
         let _ = arena.insert(2u8); // reuses the slot under a new generation
         arena.take(h); // old handle must not see the new payload
+    }
+
+    #[test]
+    fn try_take_reports_stale_and_out_of_range() {
+        let mut arena = EventArena::new();
+        let h = arena.insert(1u8);
+        assert_eq!(arena.try_take(h), Ok(1u8));
+        assert!(matches!(
+            arena.try_take(h),
+            Err(MassfError::StaleEventHandle { index: 0, .. })
+        ));
+        let _ = arena.insert(2u8); // slot reused under a new generation
+        assert!(
+            arena.try_take(h).is_err(),
+            "old generation must not see the new payload"
+        );
     }
 
     #[test]

@@ -17,13 +17,29 @@ impl LpId {
 }
 
 /// Source LP id used for events injected from outside the simulation
-/// (initial events); participates in tag construction only.
-pub(crate) const EXTERNAL_SOURCE: u32 = u32::MAX;
+/// (initial events); participates in tag construction only. Public so
+/// resume/branch layers can keep tagging externally injected suffix
+/// events in the same tag space.
+pub const EXTERNAL_SOURCE: u32 = u32::MAX;
 
 /// Build the deterministic tie-break tag from `(source LP, counter)`.
 #[inline]
 pub(crate) fn make_tag(source: u32, counter: u32) -> u64 {
     ((source as u64) << 32) | counter as u64
+}
+
+/// The tie-break tag of the `position`-th externally injected event
+/// (what [`crate::model::seed_events`] assigns in injection order).
+#[inline]
+pub fn external_tag(position: u32) -> u64 {
+    make_tag(EXTERNAL_SOURCE, position)
+}
+
+/// The `(source LP, per-source counter)` halves of a tag.
+#[inline]
+pub(crate) fn split_tag(tag: u64) -> (u32, u32) {
+    // simlint: allow(cast-lossy) -- both casts keep exactly the half they select
+    ((tag >> 32) as u32, (tag & 0xFFFF_FFFF) as u32)
 }
 
 /// A scheduled event.

@@ -43,19 +43,22 @@ pub mod baseline;
 pub mod event;
 pub mod model;
 pub mod par;
+pub mod resume;
 pub mod seq;
 pub mod stats;
 pub mod synccost;
 pub mod time;
 
 pub use arena::{EventArena, EventHandle};
-pub use event::{EventRecord, LpId};
+pub use event::{external_tag, EventRecord, LpId, EXTERNAL_SOURCE};
 pub use massf_topology::MassfError;
-pub use model::{Emitter, Model};
+pub use model::{seed_events, Emitter, Model};
 pub use par::{
-    run_parallel, try_run_parallel, try_run_parallel_observed, BarrierObserver, NoopBarrierObserver,
+    run_parallel, try_run_parallel, try_run_parallel_observed, try_run_parallel_resumable,
+    BarrierObserver, NoopBarrierObserver,
 };
-pub use seq::{run_sequential, run_sequential_windowed};
+pub use resume::ResumeState;
+pub use seq::{run_sequential, run_sequential_resumable, run_sequential_windowed};
 pub use stats::{ExecutionStats, TRACE_BUCKETS};
 pub use synccost::SyncCostModel;
 pub use time::SimTime;

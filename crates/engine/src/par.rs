@@ -52,6 +52,7 @@
 use crate::arena::{EventArena, QueuedEvent};
 use crate::event::{EventRecord, LpId};
 use crate::model::{seed_events, Emitter, Model};
+use crate::resume::ResumeState;
 use crate::stats::{bucket_layout, ExecutionStats};
 use crate::time::SimTime;
 use massf_topology::MassfError;
@@ -101,7 +102,7 @@ struct WindowStats {
     barrier_rounds: u64,
 }
 
-struct ThreadResult<M> {
+struct ThreadResult<M: Model> {
     shard: M,
     lp_events: Vec<u64>,
     total: u64,
@@ -110,6 +111,15 @@ struct ThreadResult<M> {
     violation: Option<u64>,
     /// `Some` only for partition 0, which performs the reduction.
     windowed: Option<WindowStats>,
+    /// This partition's drained frontier (empty unless the caller asked
+    /// for a resume state), sorted by `(time, tag)`.
+    pending: Vec<EventRecord<M::Event>>,
+    /// Per-LP emission counters at exit (only this partition's LPs ever
+    /// advanced beyond their restored values).
+    counters: Vec<u32>,
+    /// Arena misuse surfaced through the fallible path (`try_take`),
+    /// reported as a structured error instead of a cross-thread panic.
+    error: Option<MassfError>,
 }
 
 /// Run `shards[p]` as partition `p`, one thread each, until `end_time`.
@@ -162,6 +172,62 @@ pub fn try_run_parallel_observed<M: Model, O: BarrierObserver>(
     window: SimTime,
     observer: &O,
 ) -> Result<(Vec<M>, ExecutionStats), MassfError> {
+    let pending = seed_events(initial);
+    let counters = vec![0u32; lp_count];
+    let (shards, stats, _) = run_parallel_core(
+        shards, lp_count, assignment, pending, counters, end_time, window, observer, false,
+    )?;
+    Ok((shards, stats))
+}
+
+/// Continue a paused run from `resume` until `end_time`, in parallel.
+/// Returns the shards, the executed segment's stats, and the new
+/// frontier — merged across partitions and sorted by `(time, tag)`, so
+/// it is thread-count independent: resuming at 1 or N threads (or
+/// chaining any mix of [`crate::seq::run_sequential_resumable`] and
+/// this) reproduces the straight-through run bit for bit.
+///
+/// `resume` is validated first (it may come from a snapshot file);
+/// malformed frontiers yield [`MassfError::InvalidConfig`].
+///
+/// # Panics
+/// Panics on the same caller bugs as [`try_run_parallel`] (zero window,
+/// inconsistent assignment).
+#[allow(clippy::type_complexity)] // (shards, stats, frontier) is the natural segment result
+pub fn try_run_parallel_resumable<M: Model>(
+    shards: Vec<M>,
+    lp_count: usize,
+    assignment: &[u32],
+    resume: ResumeState<M::Event>,
+    end_time: SimTime,
+    window: SimTime,
+) -> Result<(Vec<M>, ExecutionStats, ResumeState<M::Event>), MassfError> {
+    resume.validate(lp_count)?;
+    run_parallel_core(
+        shards,
+        lp_count,
+        assignment,
+        resume.events,
+        resume.counters,
+        end_time,
+        window,
+        &NoopBarrierObserver,
+        true,
+    )
+}
+
+#[allow(clippy::too_many_arguments, clippy::type_complexity)] // internal core shared by the public facades
+fn run_parallel_core<M: Model, O: BarrierObserver>(
+    shards: Vec<M>,
+    lp_count: usize,
+    assignment: &[u32],
+    pending: Vec<EventRecord<M::Event>>,
+    counters_init: Vec<u32>,
+    end_time: SimTime,
+    window: SimTime,
+    observer: &O,
+    collect_resume: bool,
+) -> Result<(Vec<M>, ExecutionStats, ResumeState<M::Event>), MassfError> {
     assert!(window > SimTime::ZERO, "window must be positive");
     assert_eq!(assignment.len(), lp_count);
     let partitions = shards.len();
@@ -174,10 +240,10 @@ pub fn try_run_parallel_observed<M: Model, O: BarrierObserver>(
     let n_windows = end_time.as_ns().div_ceil(window.as_ns()) as usize;
     let end_ns = end_time.as_ns();
 
-    // Route seeded initial events to their home partitions.
+    // Route pending events to their home partitions.
     let mut initial_per_part: Vec<Vec<EventRecord<M::Event>>> =
         (0..partitions).map(|_| Vec::new()).collect();
-    for ev in seed_events(initial) {
+    for ev in pending {
         let p = assignment[ev.target.index()] as usize;
         initial_per_part[p].push(ev);
     }
@@ -209,6 +275,7 @@ pub fn try_run_parallel_observed<M: Model, O: BarrierObserver>(
             let win_counts = &win_counts;
             let barrier = &barrier;
             let poison = &poison;
+            let counters_init = &counters_init;
             handles.push(scope.spawn(move || {
                 let mut shard = shard;
                 // Per-thread payload arena + handle heap: local events
@@ -222,8 +289,11 @@ pub fn try_run_parallel_observed<M: Model, O: BarrierObserver>(
                     .into_iter()
                     .map(|ev| Reverse(arena.enqueue(ev)))
                     .collect();
-                let mut counters = vec![0u32; lp_count];
+                // Restored counters: only this partition's LPs will
+                // advance; the merge below takes the elementwise max.
+                let mut counters = counters_init.clone();
                 let mut out_buf: Vec<EventRecord<M::Event>> = Vec::new();
+                let mut error: Option<MassfError> = None;
                 // Private per-destination rows; swapped (never moved)
                 // into the exchange slots, so capacity is recycled.
                 let mut out_rows: Vec<Vec<EventRecord<M::Event>>> =
@@ -277,7 +347,17 @@ pub fn try_run_parallel_observed<M: Model, O: BarrierObserver>(
                             break;
                         }
                         let Reverse(ev) = heap.pop().expect("peeked");
-                        let payload = arena.take(ev.handle);
+                        // Fallible path: slab misuse becomes a
+                        // structured error through the coordinated
+                        // poison shutdown, never a cross-thread panic.
+                        let payload = match arena.try_take(ev.handle) {
+                            Ok(payload) => payload,
+                            Err(e) => {
+                                error = Some(e);
+                                poison.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        };
                         let lp = ev.target;
                         debug_assert_eq!(assignment[lp.index()] as usize, p);
                         {
@@ -379,12 +459,37 @@ pub fn try_run_parallel_observed<M: Model, O: BarrierObserver>(
                     barrier.wait();
                     observer.wait_end(p);
                 }
+                // At loop exit every in-flight event has been exchanged
+                // (the exit check precedes popping, after a barrier), so
+                // this heap holds exactly this partition's share of the
+                // global frontier. Drain in heap order → sorted output.
+                let mut pending = Vec::new();
+                if collect_resume && !poison.load(Ordering::Relaxed) {
+                    pending.reserve(heap.len());
+                    while let Some(Reverse(ev)) = heap.pop() {
+                        match arena.try_take(ev.handle) {
+                            Ok(payload) => pending.push(EventRecord {
+                                time: ev.time,
+                                target: ev.target,
+                                tag: ev.tag,
+                                payload,
+                            }),
+                            Err(e) => {
+                                error = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                }
                 ThreadResult {
                     shard,
                     lp_events,
                     total,
                     violation,
                     windowed,
+                    pending,
+                    counters,
+                    error,
                 }
             }));
         }
@@ -411,11 +516,20 @@ pub fn try_run_parallel_observed<M: Model, O: BarrierObserver>(
         });
     }
 
+    // Arena misuse reported through the fallible path: surface the
+    // lowest-partition error (results are in partition order, so this is
+    // deterministic).
+    if let Some(e) = results.iter().find_map(|r| r.error.clone()) {
+        return Err(e);
+    }
+
     let mut stats = ExecutionStats::new(lp_count);
     stats.window = window;
     stats.end_time = end_time;
     stats.barrier_wait_us = observer.waits_us();
     let mut shards_out = Vec::with_capacity(partitions);
+    let mut resume_events: Vec<EventRecord<M::Event>> = Vec::new();
+    let mut resume_counters = vec![0u32; if collect_resume { lp_count } else { 0 }];
     for r in results {
         for (dst, src) in stats.lp_events.iter_mut().zip(&r.lp_events) {
             *dst += src;
@@ -432,9 +546,28 @@ pub fn try_run_parallel_observed<M: Model, O: BarrierObserver>(
             stats.windows_skipped = n_windows as u64 - ws.windows_executed;
             stats.barrier_rounds = ws.barrier_rounds;
         }
+        if collect_resume {
+            resume_events.extend(r.pending);
+            // Each LP advances only in its owner partition; everywhere
+            // else its counter stays at the restored value, so the
+            // elementwise max reconstructs the global counter vector.
+            for (dst, src) in resume_counters.iter_mut().zip(&r.counters) {
+                *dst = (*dst).max(*src);
+            }
+        }
         shards_out.push(r.shard);
     }
-    Ok((shards_out, stats))
+    // Per-partition drains are each sorted; the merged frontier must be
+    // globally sorted by `(time, tag)` to be partition-layout agnostic.
+    resume_events.sort_unstable();
+    Ok((
+        shards_out,
+        stats,
+        ResumeState {
+            events: resume_events,
+            counters: resume_counters,
+        },
+    ))
 }
 
 /// Panicking facade over [`try_run_parallel`], for callers that treat a
@@ -529,6 +662,67 @@ mod tests {
         let mut merged: Vec<(u32, u64)> = shards.into_iter().flat_map(|s| s.visits).collect();
         merged.sort_by_key(|&(_, t)| t);
         assert_eq!(merged, seq_model.visits);
+    }
+
+    #[test]
+    fn resumable_parallel_chains_bit_identically_across_layouts() {
+        let n = 6u32;
+        let hop = SimTime::from_ms(2);
+        let end = SimTime::from_ms(50);
+
+        let mut seq_model = RingShard {
+            n,
+            hop,
+            visits: vec![],
+        };
+        let seq_stats = crate::run_sequential(
+            &mut seq_model,
+            n as usize,
+            vec![(SimTime::ZERO, LpId(0), 0)],
+            end,
+        );
+
+        // Segment 1: 3 partitions to 24 ms. Segment 2: resume the merged
+        // frontier on 2 partitions with a different assignment — the
+        // frontier is layout-agnostic, so the chain must still equal the
+        // sequential run bit for bit.
+        let start = ResumeState {
+            events: seed_events(vec![(SimTime::ZERO, LpId(0), 0)]),
+            counters: vec![0; n as usize],
+        };
+        let (shards1, s1, mid) = try_run_parallel_resumable(
+            ring_shards(n, 3, hop),
+            n as usize,
+            &[0, 0, 1, 1, 2, 2],
+            start,
+            SimTime::from_ms(24),
+            hop,
+        )
+        .expect("no violation");
+        let (shards2, s2, fin) = try_run_parallel_resumable(
+            ring_shards(n, 2, hop),
+            n as usize,
+            &[0, 1, 0, 1, 0, 1],
+            mid,
+            end,
+            hop,
+        )
+        .expect("no violation");
+
+        let mut merged: Vec<(u32, u64)> = shards1
+            .into_iter()
+            .chain(shards2)
+            .flat_map(|s| s.visits)
+            .collect();
+        merged.sort_by_key(|&(_, t)| t);
+        assert_eq!(merged, seq_model.visits);
+        assert_eq!(s1.total_events + s2.total_events, seq_stats.total_events);
+        assert_eq!(fin.events.len(), 1, "the next hop survives in the frontier");
+        assert_eq!(
+            fin.counters.iter().map(|&c| u64::from(c)).sum::<u64>(),
+            seq_stats.total_events,
+            "every handled ring event emitted exactly one follow-up"
+        );
     }
 
     #[test]

@@ -10,8 +10,10 @@
 use crate::arena::{EventArena, QueuedEvent};
 use crate::event::{EventRecord, LpId};
 use crate::model::{seed_events, Emitter, Model};
+use crate::resume::ResumeState;
 use crate::stats::{ExecutionStats, WindowAccumulator};
 use crate::time::SimTime;
+use massf_topology::MassfError;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -51,6 +53,36 @@ pub fn run_sequential_windowed<M: Model>(
     )
 }
 
+/// Continue a paused sequential run from `resume` until `end_time`,
+/// returning the stats of the executed segment and the new frontier
+/// (pending events at `end_time` plus advanced LP counters). Seeding a
+/// [`ResumeState::fresh`] frontier whose events came through
+/// [`seed_events`] is exactly [`run_sequential`]; chaining segments is
+/// bit-identical to one straight-through run because the frontier
+/// preserves every `(time, tag)` ordering key.
+///
+/// `resume` is validated first (it may come from a snapshot file):
+/// malformed frontiers yield [`MassfError::InvalidConfig`], never a
+/// panic.
+#[allow(clippy::type_complexity)] // (stats, frontier) pair is the natural segment result
+pub fn run_sequential_resumable<M: Model>(
+    model: &mut M,
+    lp_count: usize,
+    resume: ResumeState<M::Event>,
+    end_time: SimTime,
+) -> Result<(ExecutionStats, ResumeState<M::Event>), MassfError> {
+    resume.validate(lp_count)?;
+    Ok(run_core(
+        model,
+        lp_count,
+        resume.events,
+        resume.counters,
+        end_time,
+        None,
+        true,
+    ))
+}
+
 fn run_inner<M: Model>(
     model: &mut M,
     lp_count: usize,
@@ -58,16 +90,32 @@ fn run_inner<M: Model>(
     end_time: SimTime,
     windowed: Option<(SimTime, &[u32], usize)>,
 ) -> ExecutionStats {
+    let pending = seed_events(initial);
+    let counters = vec![0u32; lp_count];
+    run_core(
+        model, lp_count, pending, counters, end_time, windowed, false,
+    )
+    .0
+}
+
+fn run_core<M: Model>(
+    model: &mut M,
+    lp_count: usize,
+    pending: Vec<EventRecord<M::Event>>,
+    mut counters: Vec<u32>,
+    end_time: SimTime,
+    windowed: Option<(SimTime, &[u32], usize)>,
+    collect_resume: bool,
+) -> (ExecutionStats, ResumeState<M::Event>) {
     let mut stats = ExecutionStats::new(lp_count);
     // Payloads live in the arena; the heap orders 32-byte handles. Slots
     // recycle as events execute, so the steady-state loop is
     // allocation-free (see `crate::arena`).
     let mut arena: EventArena<M::Event> = EventArena::new();
     let mut heap: BinaryHeap<Reverse<QueuedEvent>> = BinaryHeap::new();
-    for ev in seed_events(initial) {
+    for ev in pending {
         heap.push(Reverse(arena.enqueue(ev)));
     }
-    let mut counters = vec![0u32; lp_count];
     let mut out_buf: Vec<EventRecord<M::Event>> = Vec::new();
 
     let mut acc = windowed.map(|(window, _, partitions)| {
@@ -75,10 +123,13 @@ fn run_inner<M: Model>(
         WindowAccumulator::new(partitions, n_windows)
     });
 
-    while let Some(Reverse(ev)) = heap.pop() {
-        if ev.time >= end_time {
+    // Peek before popping: events at or past `end_time` stay queued, so
+    // the frontier drain below sees the complete pending set.
+    while let Some(&Reverse(head)) = heap.peek() {
+        if head.time >= end_time {
             break;
         }
+        let Reverse(ev) = heap.pop().expect("peeked entry pops");
         let payload = arena.take(ev.handle);
         let lp = ev.target;
         debug_assert!(lp.index() < lp_count, "event for unknown LP {lp:?}");
@@ -102,7 +153,22 @@ fn run_inner<M: Model>(
         acc.finish(window, &mut stats);
     }
     stats.end_time = end_time;
-    stats
+
+    // Drain the frontier in heap order (ascending `(time, tag)`), so the
+    // returned events are sorted by construction.
+    let mut events = Vec::new();
+    if collect_resume {
+        events.reserve(heap.len());
+        while let Some(Reverse(ev)) = heap.pop() {
+            events.push(EventRecord {
+                time: ev.time,
+                target: ev.target,
+                tag: ev.tag,
+                payload: arena.take(ev.handle),
+            });
+        }
+    }
+    (stats, ResumeState { events, counters })
 }
 
 #[cfg(test)]
@@ -178,6 +244,53 @@ mod tests {
             SimTime::from_ms(2),
         );
         assert_eq!(m.0, vec![2, 0, 1], "ties broken by injection order");
+    }
+
+    #[test]
+    fn resumable_segments_match_straight_through() {
+        let mut full = Ring {
+            n: 4,
+            visits: vec![],
+        };
+        let full_stats = run_sequential(
+            &mut full,
+            4,
+            vec![(SimTime::ZERO, LpId(0), 0)],
+            SimTime::from_ms(10),
+        );
+
+        let mut split = Ring {
+            n: 4,
+            visits: vec![],
+        };
+        let start = ResumeState {
+            events: seed_events(vec![(SimTime::ZERO, LpId(0), 0)]),
+            counters: vec![0; 4],
+        };
+        let (s1, mid) =
+            run_sequential_resumable(&mut split, 4, start, SimTime::from_ms(5)).expect("valid");
+        // The event scheduled at exactly the cut time must sit in the
+        // frontier, unexecuted (end_time is exclusive).
+        assert_eq!(mid.events.len(), 1);
+        assert_eq!(mid.events[0].time, SimTime::from_ms(5));
+        let (s2, fin) =
+            run_sequential_resumable(&mut split, 4, mid, SimTime::from_ms(10)).expect("valid");
+        assert_eq!(split.visits, full.visits, "chained segments = one run");
+        assert_eq!(s1.total_events + s2.total_events, full_stats.total_events);
+        assert_eq!(fin.events.len(), 1, "next hop stays pending at the end");
+    }
+
+    #[test]
+    fn resumable_rejects_malformed_frontier() {
+        let mut m = Ring {
+            n: 2,
+            visits: vec![],
+        };
+        let bad = ResumeState::<u8> {
+            events: vec![],
+            counters: vec![0; 3], // wrong LP count
+        };
+        assert!(run_sequential_resumable(&mut m, 2, bad, SimTime::from_ms(1)).is_err());
     }
 
     #[test]

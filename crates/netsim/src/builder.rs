@@ -34,6 +34,7 @@ pub struct NetSimBuilder {
     shared: Arc<SharedNet>,
     initial: Vec<(SimTime, LpId, NetEvent)>,
     route_cache_capacity: usize,
+    max_retries: u32,
 }
 
 impl NetSimBuilder {
@@ -43,6 +44,7 @@ impl NetSimBuilder {
             shared: SharedNet::new(net, resolver),
             initial: Vec::new(),
             route_cache_capacity: DEFAULT_ROUTE_CACHE_CAPACITY,
+            max_retries: crate::tcp::MAX_RETRIES,
         }
     }
 
@@ -57,6 +59,7 @@ impl NetSimBuilder {
             shared: SharedNet::with_faults(net, faults),
             initial: Vec::new(),
             route_cache_capacity: DEFAULT_ROUTE_CACHE_CAPACITY,
+            max_retries: crate::tcp::MAX_RETRIES,
         }
     }
 
@@ -66,6 +69,15 @@ impl NetSimBuilder {
     /// only the `route_cache` profile counters and resolve cost differ.
     pub fn route_cache_capacity(&mut self, per_src: usize) -> &mut Self {
         self.route_cache_capacity = per_src;
+        self
+    }
+
+    /// TCP retry budget for every flow in the worlds this builder runs:
+    /// consecutive retransmission timeouts tolerated before a flow
+    /// aborts. Defaults to [`crate::tcp::MAX_RETRIES`]. Lower values
+    /// give up faster under long outages; higher values ride them out.
+    pub fn max_retries(&mut self, retries: u32) -> &mut Self {
+        self.max_retries = retries;
         self
     }
 
@@ -101,7 +113,10 @@ impl NetSimBuilder {
     /// Fault events target the LP of the faulted entity (a link's `a`
     /// endpoint, the crashed router) so the reconvergence work is
     /// attributed near the fault; adjacency events target LP 0.
-    fn initial_events(&self) -> Vec<(SimTime, LpId, NetEvent)> {
+    ///
+    /// Public so checkpoint sessions can seed their own executors with
+    /// exactly the events a builder-driven run would use.
+    pub fn initial_events(&self) -> Vec<(SimTime, LpId, NetEvent)> {
         let mut events = self.initial.clone();
         if let Some(faults) = &self.shared.faults {
             for e in faults.script().sorted_events() {
@@ -122,8 +137,12 @@ impl NetSimBuilder {
 
     /// Run on the sequential reference executor.
     pub fn run_sequential<A: AppLogic>(&self, app: A, end: SimTime) -> SimOutput<A> {
-        let mut world =
-            NetWorld::with_route_cache(self.shared.clone(), app, self.route_cache_capacity);
+        let mut world = NetWorld::with_config(
+            self.shared.clone(),
+            app,
+            self.route_cache_capacity,
+            self.max_retries,
+        );
         let stats = run_sequential(
             &mut world,
             self.shared.lp_count(),
@@ -149,8 +168,12 @@ impl NetSimBuilder {
         assignment: &[u32],
         partitions: usize,
     ) -> SimOutput<A> {
-        let mut world =
-            NetWorld::with_route_cache(self.shared.clone(), app, self.route_cache_capacity);
+        let mut world = NetWorld::with_config(
+            self.shared.clone(),
+            app,
+            self.route_cache_capacity,
+            self.max_retries,
+        );
         let stats = run_sequential_windowed(
             &mut world,
             self.shared.lp_count(),
@@ -229,10 +252,11 @@ impl NetSimBuilder {
     ) -> Result<SimOutput<A>, MassfError> {
         let shards: Vec<NetWorld<A>> = (0..partitions)
             .map(|_| {
-                NetWorld::with_route_cache(
+                NetWorld::with_config(
                     self.shared.clone(),
                     app.clone(),
                     self.route_cache_capacity,
+                    self.max_retries,
                 )
             })
             .collect();

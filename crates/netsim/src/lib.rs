@@ -36,7 +36,8 @@ pub use massf_faults::{FaultEvent, FaultKind, FaultScript, FaultState};
 pub use massf_routing::RouteCacheStats;
 pub use packet::{FlowId, NetEvent, Packet, PacketKind};
 pub use profiling::ProfileData;
-pub use tcp::AbortReason;
+pub use tcp::{AbortReason, TcpSenderState, MAX_RETRIES};
 pub use world::{
-    AppLogic, NetWorld, NoApp, SharedNet, SimApi, TransportKind, DEFAULT_ROUTE_CACHE_CAPACITY,
+    validate_net_event, AppLogic, FlowEntryState, NetWorld, NoApp, ReceiverEntryState, SharedNet,
+    SimApi, TransportKind, WorldState, DEFAULT_ROUTE_CACHE_CAPACITY,
 };

@@ -18,11 +18,11 @@
 
 use crate::packet::{FlowId, NetEvent, Packet, PacketKind, ACK_BYTES, HEADER_BYTES, MSS};
 use crate::profiling::ProfileData;
-use crate::tcp::{AbortReason, SendAction, TcpReceiver, TcpSender};
+use crate::tcp::{AbortReason, SendAction, TcpReceiver, TcpSender, TcpSenderState, MAX_RETRIES};
 use massf_engine::{Emitter, LpId, Model, SimTime};
-use massf_faults::FaultState;
-use massf_routing::{PathResolver, RouteCache};
-use massf_topology::{Link, Network, NodeId};
+use massf_faults::{FaultKind, FaultState};
+use massf_routing::{PathResolver, RouteCache, RouteCacheShardState, RouteCacheState};
+use massf_topology::{Link, MassfError, Network, NodeId};
 use std::sync::Arc;
 
 /// Default per-source route-cache capacity (destinations per source
@@ -481,10 +481,12 @@ struct NodeStates {
     /// Reusable `SendAction` buffer, taken (and returned empty) by each
     /// handler batch so the steady-state hot path allocates nothing.
     action_scratch: Vec<SendAction>,
+    /// Retry budget handed to every newly opened TCP flow.
+    max_retries: u32,
 }
 
 impl NodeStates {
-    fn new(shared: &SharedNet, route_cache_capacity: usize) -> Self {
+    fn new(shared: &SharedNet, route_cache_capacity: usize, max_retries: u32) -> Self {
         let nodes = shared.net.node_count();
         NodeStates {
             flow_counter: vec![0; nodes],
@@ -493,6 +495,7 @@ impl NodeStates {
             receivers: ReceiverSlab::new(nodes),
             route_cache: RouteCache::new(nodes, route_cache_capacity),
             action_scratch: Vec::new(),
+            max_retries,
         }
     }
 }
@@ -516,7 +519,19 @@ impl<A: AppLogic> NetWorld<A> {
     /// Like [`NetWorld::new`] with an explicit per-source route-cache
     /// capacity (`0` disables route caching).
     pub fn with_route_cache(shared: Arc<SharedNet>, app: A, route_cache_capacity: usize) -> Self {
-        let state = NodeStates::new(&shared, route_cache_capacity);
+        Self::with_config(shared, app, route_cache_capacity, MAX_RETRIES)
+    }
+
+    /// Like [`NetWorld::with_route_cache`] with an explicit TCP retry
+    /// budget for every flow opened in this world (see
+    /// [`crate::tcp::TcpSender::with_retries`]).
+    pub fn with_config(
+        shared: Arc<SharedNet>,
+        app: A,
+        route_cache_capacity: usize,
+        max_retries: u32,
+    ) -> Self {
+        let state = NodeStates::new(&shared, route_cache_capacity, max_retries);
         let profile = ProfileData::new(shared.net.node_count(), shared.net.links.len());
         NetWorld {
             shared,
@@ -640,7 +655,7 @@ fn start_tcp_flow_inner(
     let flow = FlowId::new(src, *counter);
     *counter += 1;
 
-    let mut sender = TcpSender::new(bytes);
+    let mut sender = TcpSender::with_retries(bytes, state.max_retries);
     let mut actions = std::mem::take(&mut state.action_scratch);
     sender.open(now, &mut actions);
     apply_actions(
@@ -738,6 +753,475 @@ fn arm_timer(
                 epoch: sender.timer_epoch,
             },
         );
+    }
+}
+
+/// One live TCP flow in a [`WorldState`] (sender side).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowEntryState {
+    /// Flow id; encodes the owning source host and its per-host counter.
+    pub flow: FlowId,
+    /// Complete TCP sender state machine.
+    pub sender: TcpSenderState,
+    /// The flow's resolved forward path.
+    pub path: Vec<NodeId>,
+    /// Flow destination.
+    pub dst: NodeId,
+    /// Epoch of the currently armed RTO timer (`u32::MAX` = none).
+    pub armed_epoch: u32,
+    /// Last fault-driven re-resolution found no path.
+    pub unroutable: bool,
+}
+
+/// One TCP receiver in a [`WorldState`] (destination side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReceiverEntryState {
+    /// Node the receiver lives at (the flow's destination).
+    pub node: NodeId,
+    /// The flow being received.
+    pub flow: FlowId,
+    /// Next expected segment.
+    pub rcv_next: u32,
+    /// Total data segments seen.
+    pub segments_seen: u64,
+}
+
+/// Canonical image of all mutable [`NetWorld`] state, independent of the
+/// partitioning (and of slab slot numbers) of the worlds it came from.
+///
+/// Flows are sorted by [`FlowId`] and receivers by `(node, flow)`, so
+/// two worlds with identical semantic state export byte-identical
+/// `WorldState`s even when their internal slot recycling diverged; this
+/// is what makes snapshot → restore → snapshot idempotent. The
+/// accumulated [`ProfileData`] rides along so a checkpoint carries the
+/// run's counters; restore leaves the new world's own profile at zero
+/// and the caller (e.g. the snapshot session) adds the two at the end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldState {
+    /// Per-host flow-id counters.
+    pub flow_counter: Vec<u32>,
+    /// Per-(link, direction) transmit-server horizon, length `2·links`.
+    pub busy_until: Vec<SimTime>,
+    /// Live TCP senders, sorted by flow id.
+    pub flows: Vec<FlowEntryState>,
+    /// TCP receivers, sorted by `(node, flow)`.
+    pub receivers: Vec<ReceiverEntryState>,
+    /// The path-memo cache (content affects only the route-cache profile
+    /// counters, but those participate in bit-identity checks).
+    pub route_cache: RouteCacheState,
+    /// Profile counters accumulated up to the export.
+    pub profile: ProfileData,
+    /// TCP retry budget for flows opened after restore.
+    pub max_retries: u32,
+}
+
+/// Check that `path` is a plausible source route over `shared`'s
+/// topology: at least two in-range nodes, every consecutive pair
+/// adjacent. Restored packets and flows travel these paths through
+/// [`transmit`], whose link lookup `expect`s adjacency — hostile
+/// snapshot input must be stopped here, not there.
+fn validate_route(shared: &SharedNet, path: &[NodeId], section: &str) -> Result<(), MassfError> {
+    let nodes = shared.net.node_count();
+    let bad = |reason: String| MassfError::SnapshotCorrupt {
+        section: section.to_owned(),
+        reason,
+    };
+    if path.len() < 2 {
+        return Err(bad(format!("path has {} nodes (need ≥ 2)", path.len())));
+    }
+    if let Some(n) = path.iter().find(|n| n.index() >= nodes) {
+        return Err(bad(format!("path visits unknown node {}", n.0)));
+    }
+    for w in path.windows(2) {
+        if shared.port.lookup(w[0], w[1]).is_none() {
+            return Err(bad(format!("path hop {} → {} has no link", w[0].0, w[1].0)));
+        }
+    }
+    Ok(())
+}
+
+/// Validate one in-flight event against the topology it will replay on.
+/// Used when loading a snapshot: the executors and [`NetWorld::handle`]
+/// trust event invariants (in-range LPs, adjacent path hops, hop index
+/// within the walk) that a corrupted or hostile snapshot can violate,
+/// so every deserialized event passes through here first.
+pub fn validate_net_event(
+    shared: &SharedNet,
+    target: LpId,
+    event: &NetEvent,
+) -> Result<(), MassfError> {
+    let nodes = shared.net.node_count();
+    let bad = |reason: String| MassfError::SnapshotCorrupt {
+        section: "events".into(),
+        reason,
+    };
+    if (target.0 as usize) >= nodes {
+        return Err(bad(format!("event targets unknown LP {}", target.0)));
+    }
+    match event {
+        NetEvent::Arrive(pkt) => {
+            validate_route(shared, &pkt.path, "events")?;
+            let hop = pkt.hop as usize;
+            // In-flight packets have always crossed ≥ 1 link and sit on
+            // a node of their walk; `handle` reads `node_at(hop - 1)`
+            // and `transmit` reads `node_at(hop + 1)` before the
+            // destination, so anything outside [1, len-1] would panic.
+            if hop == 0 || hop >= pkt.path.len() {
+                return Err(bad(format!(
+                    "packet hop {} outside its {}-node walk",
+                    hop,
+                    pkt.path.len()
+                )));
+            }
+            if pkt.node_at(hop) != NodeId(target.0) {
+                return Err(bad(format!(
+                    "packet at walk position {} is not at its target LP {}",
+                    hop, target.0
+                )));
+            }
+            if pkt.node_at(pkt.path.len() - 1) != pkt.dst {
+                return Err(bad(format!(
+                    "packet destination {} is not the end of its walk",
+                    pkt.dst.0
+                )));
+            }
+        }
+        NetEvent::RtoTimer { .. } | NetEvent::AppTimer { .. } => {}
+        NetEvent::StartFlow { dst, .. } | NetEvent::SendDatagram { dst, .. } => {
+            if dst.index() >= nodes {
+                return Err(bad(format!("traffic event to unknown node {}", dst.0)));
+            }
+        }
+        NetEvent::Fault { kind } => match *kind {
+            FaultKind::LinkDown(l) | FaultKind::LinkUp(l) => {
+                if l.index() >= shared.net.links.len() {
+                    return Err(bad(format!("fault event on unknown link {}", l.0)));
+                }
+            }
+            FaultKind::RouterCrash(n) | FaultKind::RouterRecover(n) => {
+                if n.index() >= nodes {
+                    return Err(bad(format!("fault event on unknown node {}", n.0)));
+                }
+            }
+            FaultKind::AsAdjacencyFail { .. } | FaultKind::AsAdjacencyRestore { .. } => {}
+        },
+    }
+    Ok(())
+}
+
+impl WorldState {
+    /// Merge per-partition exports into the canonical full-world state.
+    ///
+    /// Partition worlds only advance state they own — flow counters and
+    /// route-cache shards at their nodes, transmit horizons at links
+    /// whose sending endpoint they own — so counters and busy slots
+    /// merge by elementwise max, flow/receiver sets by disjoint union,
+    /// and each node's route-cache shard is taken from its owner.
+    pub fn merge_partitions(parts: &[WorldState], assignment: &[u32]) -> Result<Self, MassfError> {
+        let Some(first) = parts.first() else {
+            return Err(MassfError::InvalidConfig(
+                "cannot merge zero world-state partitions".into(),
+            ));
+        };
+        let misuse = |reason: String| MassfError::InvalidConfig(reason);
+        for p in parts {
+            if p.flow_counter.len() != first.flow_counter.len()
+                || p.busy_until.len() != first.busy_until.len()
+                || p.route_cache.shards.len() != first.route_cache.shards.len()
+                || p.max_retries != first.max_retries
+            {
+                return Err(misuse("world-state partitions disagree on shape".into()));
+            }
+        }
+        if assignment.len() != first.flow_counter.len() {
+            return Err(misuse(format!(
+                "assignment covers {} nodes, world has {}",
+                assignment.len(),
+                first.flow_counter.len()
+            )));
+        }
+        let mut flow_counter = first.flow_counter.clone();
+        let mut busy_until = first.busy_until.clone();
+        let mut profile = first.profile.clone();
+        for p in &parts[1..] {
+            for (a, b) in flow_counter.iter_mut().zip(&p.flow_counter) {
+                *a = (*a).max(*b);
+            }
+            for (a, b) in busy_until.iter_mut().zip(&p.busy_until) {
+                *a = (*a).max(*b);
+            }
+            profile.merge(&p.profile);
+        }
+        let mut flows: Vec<FlowEntryState> =
+            parts.iter().flat_map(|p| p.flows.iter().cloned()).collect();
+        flows.sort_by_key(|f| f.flow);
+        if flows.windows(2).any(|w| w[0].flow == w[1].flow) {
+            return Err(misuse("two partitions own the same flow".into()));
+        }
+        let mut receivers: Vec<ReceiverEntryState> = parts
+            .iter()
+            .flat_map(|p| p.receivers.iter().copied())
+            .collect();
+        receivers.sort_by_key(|r| (r.node, r.flow));
+        if receivers
+            .windows(2)
+            .any(|w| (w[0].node, w[0].flow) == (w[1].node, w[1].flow))
+        {
+            return Err(misuse("two partitions own the same receiver".into()));
+        }
+        let shards = first
+            .route_cache
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let owner = assignment[i] as usize;
+                parts
+                    .get(owner)
+                    .map(|p| p.route_cache.shards[i].clone())
+                    .ok_or_else(|| {
+                        misuse(format!("node {i} assigned to missing partition {owner}"))
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(WorldState {
+            flow_counter,
+            busy_until,
+            flows,
+            receivers,
+            route_cache: RouteCacheState {
+                capacity: first.route_cache.capacity,
+                shards,
+            },
+            profile,
+            max_retries: first.max_retries,
+        })
+    }
+}
+
+impl<A: AppLogic> NetWorld<A> {
+    /// Export this world's mutable state in canonical form (see
+    /// [`WorldState`]). For a partition world the export covers only
+    /// what the partition owns; merge the partitions' exports with
+    /// [`WorldState::merge_partitions`].
+    pub fn export_state(&self) -> WorldState {
+        let s = &self.state;
+        let mut flows = Vec::new();
+        for (node, index) in s.flows.by_node.iter().enumerate() {
+            for &(counter, slot) in index {
+                let cold = &s.flows.cold[slot as usize];
+                flows.push(FlowEntryState {
+                    // simlint: allow(cast-lossy) -- node index bounded by the u32 node-id space
+                    flow: FlowId::new(NodeId(node as u32), counter),
+                    sender: s.flows.hot[slot as usize].export_state(),
+                    path: cold.path.to_vec(),
+                    dst: cold.dst,
+                    armed_epoch: cold.armed_epoch,
+                    unroutable: cold.unroutable,
+                });
+            }
+        }
+        // Per-node flow indexes are counter-sorted and FlowId orders by
+        // (node, counter), so the concatenation is already sorted.
+        debug_assert!(flows.windows(2).all(|w| w[0].flow < w[1].flow));
+        let mut receivers = Vec::new();
+        for (node, index) in s.receivers.by_node.iter().enumerate() {
+            for &(flow, slot) in index {
+                let r = &s.receivers.state[slot as usize];
+                receivers.push(ReceiverEntryState {
+                    // simlint: allow(cast-lossy) -- node index bounded by the u32 node-id space
+                    node: NodeId(node as u32),
+                    flow,
+                    rcv_next: r.rcv_next,
+                    segments_seen: r.segments_seen,
+                });
+            }
+        }
+        WorldState {
+            flow_counter: s.flow_counter.clone(),
+            busy_until: s.busy_until.clone(),
+            flows,
+            receivers,
+            route_cache: s.route_cache.export_state(),
+            profile: self.profile.clone(),
+            max_retries: s.max_retries,
+        }
+    }
+
+    /// Rebuild a full world from a canonical state, for sequential
+    /// execution. The state is validated as untrusted input: any
+    /// violated invariant yields [`MassfError::SnapshotCorrupt`], never
+    /// a panic and never a silently inconsistent world.
+    pub fn restore(shared: Arc<SharedNet>, app: A, state: &WorldState) -> Result<Self, MassfError> {
+        Self::restore_filtered(shared, app, state, None)
+    }
+
+    /// Rebuild one partition's world from a canonical state: only the
+    /// flows, receivers, and route-cache shards owned by `partition`
+    /// under `assignment` are loaded (counters and busy horizons are
+    /// kept in full — non-owners never advance them, so the later
+    /// max-merge is exact).
+    pub fn restore_partition(
+        shared: Arc<SharedNet>,
+        app: A,
+        state: &WorldState,
+        assignment: &[u32],
+        partition: u32,
+    ) -> Result<Self, MassfError> {
+        if assignment.len() != shared.net.node_count() {
+            return Err(MassfError::InvalidConfig(format!(
+                "assignment covers {} nodes, network has {}",
+                assignment.len(),
+                shared.net.node_count()
+            )));
+        }
+        Self::restore_filtered(shared, app, state, Some((assignment, partition)))
+    }
+
+    fn restore_filtered(
+        shared: Arc<SharedNet>,
+        app: A,
+        state: &WorldState,
+        filter: Option<(&[u32], u32)>,
+    ) -> Result<Self, MassfError> {
+        let bad = |reason: String| MassfError::SnapshotCorrupt {
+            section: "world".into(),
+            reason,
+        };
+        let nodes = shared.net.node_count();
+        let links = shared.net.links.len();
+        if state.flow_counter.len() != nodes {
+            return Err(bad(format!(
+                "flow counters cover {} nodes, network has {nodes}",
+                state.flow_counter.len()
+            )));
+        }
+        if state.busy_until.len() != links * 2 {
+            return Err(bad(format!(
+                "busy horizons cover {} slots, network has {}",
+                state.busy_until.len(),
+                links * 2
+            )));
+        }
+        if state.profile.node_packets.len() != nodes || state.profile.link_packets.len() != links {
+            return Err(bad("profile dimensions do not match the network".into()));
+        }
+        if !state.route_cache.shards.is_empty() && state.route_cache.shards.len() != nodes {
+            return Err(bad(format!(
+                "route cache has {} shards, network has {nodes} nodes",
+                state.route_cache.shards.len()
+            )));
+        }
+        let owned = |node: NodeId| match filter {
+            Some((assignment, p)) => assignment[node.index()] == p,
+            None => true,
+        };
+
+        let route_cache = match filter {
+            Some(_) => {
+                // Unowned shards start empty: their contents belong to
+                // (and will be exported by) other partitions.
+                let filtered = RouteCacheState {
+                    capacity: state.route_cache.capacity,
+                    shards: state
+                        .route_cache
+                        .shards
+                        .iter()
+                        .enumerate()
+                        .map(|(i, sh)| {
+                            // simlint: allow(cast-lossy) -- node index bounded by the u32 node-id space
+                            if owned(NodeId(i as u32)) {
+                                sh.clone()
+                            } else {
+                                RouteCacheShardState {
+                                    entries: Vec::new(),
+                                    queue: Vec::new(),
+                                    stamp: 0,
+                                }
+                            }
+                        })
+                        .collect(),
+                };
+                RouteCache::from_state(&filtered)?
+            }
+            None => RouteCache::from_state(&state.route_cache)?,
+        };
+
+        let mut flows = FlowSlab::new(nodes);
+        let mut prev: Option<FlowId> = None;
+        for f in &state.flows {
+            if prev.is_some_and(|p| f.flow <= p) {
+                return Err(bad("flow entries are not strictly sorted by id".into()));
+            }
+            prev = Some(f.flow);
+            let src = f.flow.source();
+            if src.index() >= nodes {
+                return Err(bad(format!("flow owned by unknown node {}", src.0)));
+            }
+            if flow_counter_of(f.flow) >= state.flow_counter[src.index()] {
+                return Err(bad(format!(
+                    "flow counter {} not yet issued by node {}",
+                    flow_counter_of(f.flow),
+                    src.0
+                )));
+            }
+            validate_route(&shared, &f.path, "world")?;
+            if f.path[0] != src || *f.path.last().expect("len ≥ 2 checked") != f.dst {
+                return Err(bad(format!(
+                    "flow path endpoints do not match source {} / destination {}",
+                    src.0, f.dst.0
+                )));
+            }
+            let sender = TcpSender::from_state(&f.sender)?;
+            if sender.done || sender.aborted {
+                return Err(bad("finished flow serialized as live".into()));
+            }
+            if owned(src) {
+                flows.insert(
+                    src,
+                    f.flow,
+                    sender,
+                    FlowCold {
+                        path: Arc::from(f.path.as_slice()),
+                        dst: f.dst,
+                        armed_epoch: f.armed_epoch,
+                        unroutable: f.unroutable,
+                    },
+                );
+            }
+        }
+
+        let mut receivers = ReceiverSlab::new(nodes);
+        let mut prev: Option<(NodeId, FlowId)> = None;
+        for r in &state.receivers {
+            if prev.is_some_and(|p| (r.node, r.flow) <= p) {
+                return Err(bad("receiver entries are not strictly sorted".into()));
+            }
+            prev = Some((r.node, r.flow));
+            if r.node.index() >= nodes {
+                return Err(bad(format!("receiver at unknown node {}", r.node.0)));
+            }
+            if owned(r.node) {
+                let entry = receivers.entry(r.node, r.flow);
+                entry.rcv_next = r.rcv_next;
+                entry.segments_seen = r.segments_seen;
+            }
+        }
+
+        Ok(NetWorld {
+            profile: ProfileData::new(nodes, links),
+            state: NodeStates {
+                flow_counter: state.flow_counter.clone(),
+                busy_until: state.busy_until.clone(),
+                flows,
+                receivers,
+                route_cache,
+                action_scratch: Vec::new(),
+                max_retries: state.max_retries,
+            },
+            shared,
+            app,
+        })
     }
 }
 
@@ -1257,6 +1741,257 @@ mod tests {
         // Non-adjacent pairs miss: hosts a (0) and b (3) are 3 hops apart.
         assert!(shared.link_between(NodeId(0), NodeId(3)).is_none());
         assert!(shared.link_between(NodeId(0), NodeId(2)).is_none());
+    }
+
+    fn seeded_resume(
+        initial: Vec<(SimTime, LpId, NetEvent)>,
+        n: usize,
+    ) -> massf_engine::ResumeState<NetEvent> {
+        let mut events = massf_engine::seed_events(initial);
+        events.sort_unstable();
+        massf_engine::ResumeState {
+            events,
+            counters: vec![0; n],
+        }
+    }
+
+    #[test]
+    fn world_state_round_trip_preserves_execution() {
+        use massf_engine::run_sequential_resumable;
+        let (shared, a, b) = dumbbell(10e6);
+        let n = shared.lp_count();
+        let initial = vec![(
+            SimTime::ZERO,
+            LpId(a.0),
+            NetEvent::StartFlow {
+                dst: b,
+                bytes: 500_000,
+            },
+        )];
+        let end = SimTime::from_secs(5);
+
+        // Straight-through reference.
+        let mut whole = NetWorld::new(shared.clone(), NoApp);
+        run_sequential(&mut whole, n, initial.clone(), end);
+
+        // Split run: stop at 100 ms (mid-flow), snapshot, continue both
+        // the original world and a restored copy.
+        let mut original = NetWorld::new(shared.clone(), NoApp);
+        let (_, frontier) = run_sequential_resumable(
+            &mut original,
+            n,
+            seeded_resume(initial, n),
+            SimTime::from_ms(100),
+        )
+        .expect("valid frontier");
+        let snap = original.export_state();
+        assert!(!snap.flows.is_empty(), "flow must still be live at 100 ms");
+
+        let mut restored = NetWorld::restore(shared, NoApp, &snap).expect("valid snapshot");
+        // Snapshot → restore → snapshot is exact, except the restored
+        // world's own profile starts at zero.
+        let mut re_export = restored.export_state();
+        assert_eq!(re_export.profile, ProfileData::new(n, 3));
+        re_export.profile = snap.profile.clone();
+        assert_eq!(re_export, snap);
+
+        let (_, f2) = run_sequential_resumable(&mut restored, n, frontier.clone(), end)
+            .expect("restored world resumes");
+        let (_, f1) =
+            run_sequential_resumable(&mut original, n, frontier, end).expect("original resumes");
+        assert_eq!(f1.events.len(), f2.events.len());
+
+        // The continued-original equals the straight-through run...
+        assert_eq!(original.export_state(), whole.export_state());
+        // ...and the restored world matches except for profile
+        // additivity: snapshot profile + suffix profile = whole profile.
+        let mut final_restored = restored.export_state();
+        let mut cumulative = snap.profile.clone();
+        cumulative.merge(&final_restored.profile);
+        assert_eq!(cumulative, whole.profile);
+        final_restored.profile = whole.profile.clone();
+        assert_eq!(final_restored, whole.export_state());
+    }
+
+    #[test]
+    fn partition_exports_merge_to_sequential_state() {
+        use massf_engine::{run_sequential_resumable, try_run_parallel_resumable};
+        let (shared, a, b) = dumbbell(10e6);
+        let n = shared.lp_count();
+        let initial = vec![
+            (
+                SimTime::ZERO,
+                LpId(a.0),
+                NetEvent::StartFlow {
+                    dst: b,
+                    bytes: 300_000,
+                },
+            ),
+            (
+                SimTime::from_ms(1),
+                LpId(b.0),
+                NetEvent::StartFlow {
+                    dst: a,
+                    bytes: 200_000,
+                },
+            ),
+        ];
+        let mid = SimTime::from_ms(150);
+
+        let mut seq = NetWorld::new(shared.clone(), NoApp);
+        run_sequential_resumable(&mut seq, n, seeded_resume(initial.clone(), n), mid)
+            .expect("sequential segment");
+        let seq_state = seq.export_state();
+
+        // Cut between r1 and r2 (the only cross link, 1 ms latency).
+        let assignment = [0u32, 0, 1, 1];
+        let shards = vec![
+            NetWorld::new(shared.clone(), NoApp),
+            NetWorld::new(shared, NoApp),
+        ];
+        let (shards, _, _) = try_run_parallel_resumable(
+            shards,
+            n,
+            &assignment,
+            seeded_resume(initial, n),
+            mid,
+            SimTime::from_ms(1),
+        )
+        .expect("parallel segment");
+        let parts: Vec<WorldState> = shards.iter().map(|w| w.export_state()).collect();
+        let merged = WorldState::merge_partitions(&parts, &assignment).expect("disjoint parts");
+        assert_eq!(merged, seq_state);
+    }
+
+    #[test]
+    fn hostile_world_states_are_rejected() {
+        use massf_engine::run_sequential_resumable;
+        let (shared, a, b) = dumbbell(10e6);
+        let n = shared.lp_count();
+        let initial = vec![(
+            SimTime::ZERO,
+            LpId(a.0),
+            NetEvent::StartFlow {
+                dst: b,
+                bytes: 500_000,
+            },
+        )];
+        let mut w = NetWorld::new(shared.clone(), NoApp);
+        run_sequential_resumable(&mut w, n, seeded_resume(initial, n), SimTime::from_ms(100))
+            .expect("segment");
+        let good = w.export_state();
+        assert!(!good.flows.is_empty());
+
+        let reject = |state: &WorldState, what: &str| match NetWorld::restore(
+            shared.clone(),
+            NoApp,
+            state,
+        ) {
+            Err(MassfError::SnapshotCorrupt { .. }) => {}
+            Err(other) => panic!("{what}: expected SnapshotCorrupt, got {other}"),
+            Ok(_) => panic!("{what}: hostile state must be rejected"),
+        };
+
+        let mut truncated_counters = good.clone();
+        truncated_counters.flow_counter.pop();
+        reject(&truncated_counters, "truncated flow counters");
+
+        let mut wrong_busy = good.clone();
+        wrong_busy.busy_until.push(SimTime::ZERO);
+        reject(&wrong_busy, "oversized busy horizon");
+
+        let mut broken_path = good.clone();
+        broken_path.flows[0].path = vec![a, b]; // hosts are not adjacent
+        reject(&broken_path, "non-adjacent path hop");
+
+        let mut unissued_flow = good.clone();
+        unissued_flow.flow_counter[a.index()] = 0;
+        reject(&unissued_flow, "live flow beyond its host's counter");
+
+        let mut nan_cwnd = good.clone();
+        nan_cwnd.flows[0].sender.cwnd = f64::NAN;
+        reject(&nan_cwnd, "NaN congestion window");
+
+        let mut dup_receiver = good.clone();
+        if let Some(&r) = dup_receiver.receivers.first() {
+            dup_receiver.receivers.push(r); // breaks strict sorting
+            reject(&dup_receiver, "duplicate receiver entry");
+        }
+
+        let mut bad_profile = good.clone();
+        bad_profile.profile.node_packets.pop();
+        reject(&bad_profile, "profile dimension mismatch");
+
+        // The unmodified export restores fine.
+        assert!(NetWorld::restore(shared, NoApp, &good).is_ok());
+    }
+
+    #[test]
+    fn in_flight_event_validation_catches_hostile_packets() {
+        let (shared, a, b) = dumbbell(10e6);
+        let r1 = NodeId(1);
+        let path: Arc<[NodeId]> = vec![a, r1, NodeId(2), b].into();
+        let pkt = |hop: u16, path: Arc<[NodeId]>| Packet {
+            flow: FlowId::new(a, 0),
+            meta: 0,
+            path,
+            dst: b,
+            seq: 0,
+            size_bytes: 100,
+            hop,
+            kind: PacketKind::Data,
+        };
+
+        // A well-formed in-flight packet passes.
+        let ok = NetEvent::Arrive(pkt(1, path.clone()));
+        assert!(validate_net_event(&shared, LpId(r1.0), &ok).is_ok());
+
+        let cases: Vec<(LpId, NetEvent, &str)> = vec![
+            (LpId(99), NetEvent::AppTimer { token: 0 }, "unknown LP"),
+            (
+                LpId(r1.0),
+                NetEvent::Arrive(pkt(0, path.clone())),
+                "hop 0 would underflow the previous-node lookup",
+            ),
+            (
+                LpId(r1.0),
+                NetEvent::Arrive(pkt(4, path.clone())),
+                "hop beyond the walk",
+            ),
+            (
+                LpId(b.0),
+                NetEvent::Arrive(pkt(1, path.clone())),
+                "packet not at its target LP",
+            ),
+            (
+                LpId(r1.0),
+                NetEvent::Arrive(pkt(1, vec![a, b].into())),
+                "non-adjacent path",
+            ),
+            (
+                LpId(a.0),
+                NetEvent::StartFlow {
+                    dst: NodeId(77),
+                    bytes: 1,
+                },
+                "traffic to unknown node",
+            ),
+            (
+                LpId(a.0),
+                NetEvent::Fault {
+                    kind: FaultKind::LinkDown(massf_topology::LinkId(9)),
+                },
+                "fault on unknown link",
+            ),
+        ];
+        for (lp, ev, what) in cases {
+            match validate_net_event(&shared, lp, &ev) {
+                Err(MassfError::SnapshotCorrupt { section, .. }) => {
+                    assert_eq!(section, "events", "{what}");
+                }
+                other => panic!("{what}: expected SnapshotCorrupt, got {other:?}"),
+            }
+        }
     }
 
     #[test]

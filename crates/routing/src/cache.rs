@@ -29,7 +29,7 @@
 //! are cached too.
 
 use crate::resolver::PathResolver;
-use massf_topology::NodeId;
+use massf_topology::{MassfError, NodeId};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -176,6 +176,154 @@ impl RouteCache {
         shard.compact(self.capacity);
         path
     }
+
+    /// Export the cache's complete state for checkpointing. The output
+    /// is canonical (a pure function of the query sequence, never of
+    /// hasher order): live entries are recovered by walking the
+    /// lazy-deletion queue and point-looking-up each record — every
+    /// live entry's latest-stamp record is in the queue by invariant
+    /// (inserts and hits push one; compaction retains exactly the live
+    /// records) — so entries come out in LRU order without iterating
+    /// the `HashMap`.
+    pub fn export_state(&self) -> RouteCacheState {
+        let shards = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let mut entries = Vec::with_capacity(shard.map.len());
+                for &(s, k) in &shard.queue {
+                    if let Some(e) = shard.map.get(&k) {
+                        if e.stamp == s {
+                            entries.push(RouteCacheEntryState {
+                                key: k,
+                                stamp: s,
+                                path: e.path.as_ref().map(|p| p.to_vec()),
+                            });
+                        }
+                    }
+                }
+                RouteCacheShardState {
+                    entries,
+                    queue: shard.queue.iter().copied().collect(),
+                    stamp: shard.stamp,
+                }
+            })
+            .collect();
+        RouteCacheState {
+            capacity: self.capacity as u64,
+            shards,
+        }
+    }
+
+    /// Rebuild a cache from an exported state. The input may come from
+    /// a snapshot file, so it is validated structurally; inconsistent
+    /// states yield [`MassfError::SnapshotCorrupt`] instead of
+    /// panicking or silently diverging later.
+    pub fn from_state(state: &RouteCacheState) -> Result<RouteCache, MassfError> {
+        let bad = |reason: String| MassfError::SnapshotCorrupt {
+            section: "route-cache".into(),
+            reason,
+        };
+        let capacity =
+            usize::try_from(state.capacity).map_err(|_| bad("capacity exceeds usize".into()))?;
+        if capacity == 0 && !state.shards.is_empty() {
+            return Err(bad("disabled cache must have no shards".into()));
+        }
+        let mut shards = Vec::with_capacity(state.shards.len());
+        for (i, s) in state.shards.iter().enumerate() {
+            let mut map = HashMap::with_capacity(s.entries.len());
+            for e in &s.entries {
+                if e.stamp > s.stamp {
+                    return Err(bad(format!(
+                        "shard {i}: entry stamp {} beyond shard stamp {}",
+                        e.stamp, s.stamp
+                    )));
+                }
+                if map
+                    .insert(
+                        e.key,
+                        CacheEntry {
+                            path: e.path.as_ref().map(|p| Arc::from(p.as_slice())),
+                            stamp: e.stamp,
+                        },
+                    )
+                    .is_some()
+                {
+                    return Err(bad(format!("shard {i}: duplicate key {:#x}", e.key)));
+                }
+            }
+            if map.len() > capacity {
+                return Err(bad(format!(
+                    "shard {i}: {} live entries exceed capacity {capacity}",
+                    map.len()
+                )));
+            }
+            let mut prev_stamp = 0u64;
+            for &(stamp, _) in &s.queue {
+                if stamp > s.stamp {
+                    return Err(bad(format!(
+                        "shard {i}: queue stamp {stamp} beyond shard stamp {}",
+                        s.stamp
+                    )));
+                }
+                if stamp < prev_stamp {
+                    return Err(bad(format!("shard {i}: queue stamps not ascending")));
+                }
+                prev_stamp = stamp;
+            }
+            // Every live entry's latest-stamp record must be queued, or
+            // it could never be evicted (the export invariant).
+            for e in &s.entries {
+                if !s.queue.contains(&(e.stamp, e.key)) {
+                    return Err(bad(format!(
+                        "shard {i}: live entry {:#x} missing from queue",
+                        e.key
+                    )));
+                }
+            }
+            shards.push(Shard {
+                map,
+                queue: s.queue.iter().copied().collect(),
+                stamp: s.stamp,
+            });
+        }
+        Ok(RouteCache { shards, capacity })
+    }
+}
+
+/// One live cache entry in an exported [`RouteCacheState`]; `path` is
+/// `None` for cached-negative entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteCacheEntryState {
+    /// `(epoch << 32) | dst` lookup key.
+    pub key: u64,
+    /// Stamp of the entry's latest use.
+    pub stamp: u64,
+    /// The memoized path, `None` when the destination was unreachable.
+    pub path: Option<Vec<NodeId>>,
+}
+
+/// One shard of an exported [`RouteCacheState`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteCacheShardState {
+    /// Live entries in LRU (ascending-stamp) order.
+    pub entries: Vec<RouteCacheEntryState>,
+    /// The full lazy-deletion queue `(stamp, key)`, stale records
+    /// included — eviction behavior round-trips exactly.
+    pub queue: Vec<(u64, u64)>,
+    /// The shard's monotone use counter.
+    pub stamp: u64,
+}
+
+/// The complete, canonical state of a [`RouteCache`]: continuing from
+/// `RouteCache::from_state(&c.export_state())` behaves identically to
+/// continuing from `c` for every future query sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteCacheState {
+    /// Per-source capacity the cache was built with (0 = disabled).
+    pub capacity: u64,
+    /// One state per source shard (empty when disabled).
+    pub shards: Vec<RouteCacheShardState>,
 }
 
 /// A [`PathResolver`] wrapper memoizing its inner resolver through a
@@ -367,6 +515,71 @@ mod tests {
             shard.queue.len() <= 64 + 1,
             "lazy-deletion queue must stay bounded, got {}",
             shard.queue.len()
+        );
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_behavior_and_bytes() {
+        let mut cache = RouteCache::new(4, 2);
+        let mut stats = RouteCacheStats::default();
+        let resolve = |d: u32| move || Some(Arc::from(vec![n(0), n(d)]));
+        let _ = cache.get_or_insert_with(&mut stats, 0, n(0), n(2), resolve(2));
+        let _ = cache.get_or_insert_with(&mut stats, 0, n(0), n(4), resolve(4));
+        let _ = cache.get_or_insert_with(&mut stats, 0, n(0), n(2), resolve(2)); // hit
+        let _ = cache.get_or_insert_with(&mut stats, 1, n(3), n(6), resolve(6));
+
+        let state = cache.export_state();
+        let mut restored = RouteCache::from_state(&state).expect("valid state");
+        assert_eq!(
+            restored.export_state(),
+            state,
+            "export → import → export must be identical"
+        );
+
+        // The restored cache answers and evicts exactly like the
+        // original: dst 6 misses and evicts dst 4 (the LRU), dst 2 hits.
+        let mut s1 = RouteCacheStats::default();
+        let mut s2 = RouteCacheStats::default();
+        for (c, s) in [(&mut cache, &mut s1), (&mut restored, &mut s2)] {
+            let _ = c.get_or_insert_with(s, 0, n(0), n(6), resolve(6));
+            let _ = c.get_or_insert_with(s, 0, n(0), n(2), resolve(2));
+            let _ = c.get_or_insert_with(s, 0, n(0), n(4), resolve(4));
+        }
+        assert_eq!(s1, s2, "post-restore behavior must be bit-identical");
+        assert_eq!(cache.export_state(), restored.export_state());
+    }
+
+    #[test]
+    fn corrupt_cache_states_are_rejected() {
+        let mut cache = RouteCache::new(2, 2);
+        let mut stats = RouteCacheStats::default();
+        let _ = cache.get_or_insert_with(&mut stats, 0, n(0), n(1), || Some(Arc::from(vec![n(0)])));
+        let good = cache.export_state();
+
+        let mut bad = good.clone();
+        bad.shards[0].stamp = 0; // entry stamp now exceeds shard stamp
+        assert!(matches!(
+            RouteCache::from_state(&bad),
+            Err(MassfError::SnapshotCorrupt { .. })
+        ));
+
+        let mut bad = good.clone();
+        let dup = bad.shards[0].entries[0].clone();
+        bad.shards[0].entries.push(dup);
+        assert!(RouteCache::from_state(&bad).is_err(), "duplicate key");
+
+        let mut bad = good.clone();
+        bad.shards[0].queue.clear();
+        assert!(
+            RouteCache::from_state(&bad).is_err(),
+            "live entry must be queued"
+        );
+
+        let mut bad = good;
+        bad.capacity = 0;
+        assert!(
+            RouteCache::from_state(&bad).is_err(),
+            "disabled cache cannot carry shards"
         );
     }
 

@@ -35,7 +35,10 @@ pub mod policy;
 pub mod resolver;
 
 pub use bgp::{BgpRib, BgpRoute};
-pub use cache::{CachedResolver, RouteCache, RouteCacheStats};
+pub use cache::{
+    CachedResolver, RouteCache, RouteCacheEntryState, RouteCacheShardState, RouteCacheState,
+    RouteCacheStats,
+};
 pub use dynamics::{beacon_schedule, BeaconSim, Convergence};
 pub use massf_topology::MassfError;
 pub use ospf::{CostMetric, OspfDomain};

@@ -88,6 +88,7 @@ impl Default for Config {
                         "faults",
                         "partition",
                         "core",
+                        "snapshot",
                         "simlint",
                     ]
                     .map(String::from)

@@ -67,6 +67,27 @@ fn d1_route_interning_pattern_is_clean() {
 }
 
 #[test]
+fn d1_snapshot_serializer_pattern_is_clean() {
+    // The checkpoint serializer (sorted-slab walks + streaming CRC,
+    // crates/snapshot) must pass every rule without suppressions in the
+    // snapshot crate's own scope — which defaults to the strictest D1
+    // list — and in the other deterministic-critical scopes.
+    for krate in ["snapshot", "engine", "netsim"] {
+        let found = scan_fixture("snapshot_serializer.rs", krate);
+        assert!(found.is_empty(), "{krate}: {found:?}");
+    }
+}
+
+#[test]
+fn d1_applies_to_the_snapshot_crate_by_default() {
+    // A hash-iteration in the snapshot crate is a default-config
+    // violation: checkpoint bytes must be a pure function of the world.
+    let found = scan_fixture("d1_hash_iter.rs", "snapshot");
+    assert_eq!(found.len(), 3, "{found:?}");
+    assert!(found.iter().all(|(r, _)| *r == Rule::HashIteration));
+}
+
+#[test]
 fn d3_entropy_fixture() {
     let found = scan_fixture("d3_entropy.rs", "engine");
     assert_eq!(found.len(), 2, "{found:?}");

@@ -1,0 +1,636 @@
+//! Wire encoding of the simulation state types.
+//!
+//! One function pair per type, hand-rolled over [`crate::wire`]. The
+//! decoders perform *structural* validation only (bounds, known
+//! discriminants, flag bytes strictly 0/1); *semantic* validation —
+//! path adjacency, issued-flow counters, TCP invariants, frontier sort
+//! order — happens where the state is installed
+//! ([`massf_netsim::NetWorld::restore`], `validate_net_event`,
+//! `ResumeState::validate`), so a hostile payload that parses cleanly
+//! still cannot reach a panic path.
+//!
+//! Determinism: every encoder walks plain `Vec`s in index order — no
+//! hash-map iteration anywhere (D1-clean), no clocks, no entropy.
+
+use crate::wire::{ByteReader, ByteWriter};
+use massf_engine::{EventRecord, LpId, ResumeState, SimTime};
+use massf_netsim::{
+    FaultKind, FlowEntryState, FlowId, NetEvent, Packet, PacketKind, ProfileData,
+    ReceiverEntryState, TcpSenderState, WorldState,
+};
+use massf_routing::{RouteCacheEntryState, RouteCacheShardState, RouteCacheState, RouteCacheStats};
+use massf_topology::{LinkId, MassfError, NodeId};
+
+fn put_time(w: &mut ByteWriter, t: SimTime) {
+    w.put_u64(t.as_ns());
+}
+
+fn get_time(r: &mut ByteReader) -> Result<SimTime, MassfError> {
+    Ok(SimTime::from_ns(r.get_u64()?))
+}
+
+fn put_bool(w: &mut ByteWriter, v: bool) {
+    w.put_u8(u8::from(v));
+}
+
+fn get_bool(r: &mut ByteReader) -> Result<bool, MassfError> {
+    match r.get_u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(r.corrupt(format!("flag byte {other} (want 0 or 1)"))),
+    }
+}
+
+fn put_opt_time(w: &mut ByteWriter, v: Option<SimTime>) {
+    match v {
+        None => w.put_u8(0),
+        Some(t) => {
+            w.put_u8(1);
+            put_time(w, t);
+        }
+    }
+}
+
+fn get_opt_time(r: &mut ByteReader) -> Result<Option<SimTime>, MassfError> {
+    Ok(if get_bool(r)? {
+        Some(get_time(r)?)
+    } else {
+        None
+    })
+}
+
+fn put_nodes(w: &mut ByteWriter, nodes: &[NodeId]) {
+    w.put_count(nodes.len());
+    for n in nodes {
+        w.put_u32(n.0);
+    }
+}
+
+fn get_nodes(r: &mut ByteReader) -> Result<Vec<NodeId>, MassfError> {
+    let n = r.get_count(4)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(NodeId(r.get_u32()?));
+    }
+    Ok(out)
+}
+
+fn put_u64s(w: &mut ByteWriter, vs: &[u64]) {
+    w.put_count(vs.len());
+    for &v in vs {
+        w.put_u64(v);
+    }
+}
+
+fn get_u64s(r: &mut ByteReader) -> Result<Vec<u64>, MassfError> {
+    let n = r.get_count(8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.get_u64()?);
+    }
+    Ok(out)
+}
+
+fn put_u32s(w: &mut ByteWriter, vs: &[u32]) {
+    w.put_count(vs.len());
+    for &v in vs {
+        w.put_u32(v);
+    }
+}
+
+fn get_u32s(r: &mut ByteReader) -> Result<Vec<u32>, MassfError> {
+    let n = r.get_count(4)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.get_u32()?);
+    }
+    Ok(out)
+}
+
+pub fn put_fault_kind(w: &mut ByteWriter, kind: FaultKind) {
+    match kind {
+        FaultKind::LinkDown(l) => {
+            w.put_u8(0);
+            w.put_u32(l.0);
+        }
+        FaultKind::LinkUp(l) => {
+            w.put_u8(1);
+            w.put_u32(l.0);
+        }
+        FaultKind::RouterCrash(n) => {
+            w.put_u8(2);
+            w.put_u32(n.0);
+        }
+        FaultKind::RouterRecover(n) => {
+            w.put_u8(3);
+            w.put_u32(n.0);
+        }
+        FaultKind::AsAdjacencyFail { as_a, as_b } => {
+            w.put_u8(4);
+            w.put_u16(as_a);
+            w.put_u16(as_b);
+        }
+        FaultKind::AsAdjacencyRestore { as_a, as_b } => {
+            w.put_u8(5);
+            w.put_u16(as_a);
+            w.put_u16(as_b);
+        }
+    }
+}
+
+pub fn get_fault_kind(r: &mut ByteReader) -> Result<FaultKind, MassfError> {
+    Ok(match r.get_u8()? {
+        0 => FaultKind::LinkDown(LinkId(r.get_u32()?)),
+        1 => FaultKind::LinkUp(LinkId(r.get_u32()?)),
+        2 => FaultKind::RouterCrash(NodeId(r.get_u32()?)),
+        3 => FaultKind::RouterRecover(NodeId(r.get_u32()?)),
+        4 => FaultKind::AsAdjacencyFail {
+            as_a: r.get_u16()?,
+            as_b: r.get_u16()?,
+        },
+        5 => FaultKind::AsAdjacencyRestore {
+            as_a: r.get_u16()?,
+            as_b: r.get_u16()?,
+        },
+        other => return Err(r.corrupt(format!("unknown fault kind {other}"))),
+    })
+}
+
+fn put_packet(w: &mut ByteWriter, p: &Packet) {
+    w.put_u64(p.flow.0);
+    w.put_u64(p.meta);
+    put_nodes(w, &p.path);
+    w.put_u32(p.dst.0);
+    w.put_u32(p.seq);
+    w.put_u32(p.size_bytes);
+    w.put_u16(p.hop);
+    w.put_u8(match p.kind {
+        PacketKind::Data => 0,
+        PacketKind::Ack => 1,
+        PacketKind::Datagram => 2,
+    });
+}
+
+fn get_packet(r: &mut ByteReader) -> Result<Packet, MassfError> {
+    let flow = FlowId(r.get_u64()?);
+    let meta = r.get_u64()?;
+    let path = get_nodes(r)?;
+    let dst = NodeId(r.get_u32()?);
+    let seq = r.get_u32()?;
+    let size_bytes = r.get_u32()?;
+    let hop = r.get_u16()?;
+    let kind = match r.get_u8()? {
+        0 => PacketKind::Data,
+        1 => PacketKind::Ack,
+        2 => PacketKind::Datagram,
+        other => return Err(r.corrupt(format!("unknown packet kind {other}"))),
+    };
+    Ok(Packet {
+        flow,
+        meta,
+        path: path.into(),
+        dst,
+        seq,
+        size_bytes,
+        hop,
+        kind,
+    })
+}
+
+pub fn put_net_event(w: &mut ByteWriter, ev: &NetEvent) {
+    match ev {
+        NetEvent::Arrive(p) => {
+            w.put_u8(0);
+            put_packet(w, p);
+        }
+        NetEvent::RtoTimer { flow, epoch } => {
+            w.put_u8(1);
+            w.put_u64(flow.0);
+            w.put_u32(*epoch);
+        }
+        NetEvent::AppTimer { token } => {
+            w.put_u8(2);
+            w.put_u64(*token);
+        }
+        NetEvent::StartFlow { dst, bytes } => {
+            w.put_u8(3);
+            w.put_u32(dst.0);
+            w.put_u64(*bytes);
+        }
+        NetEvent::SendDatagram { dst, bytes, meta } => {
+            w.put_u8(4);
+            w.put_u32(dst.0);
+            w.put_u32(*bytes);
+            w.put_u64(*meta);
+        }
+        NetEvent::Fault { kind } => {
+            w.put_u8(5);
+            put_fault_kind(w, *kind);
+        }
+    }
+}
+
+pub fn get_net_event(r: &mut ByteReader) -> Result<NetEvent, MassfError> {
+    Ok(match r.get_u8()? {
+        0 => NetEvent::Arrive(get_packet(r)?),
+        1 => NetEvent::RtoTimer {
+            flow: FlowId(r.get_u64()?),
+            epoch: r.get_u32()?,
+        },
+        2 => NetEvent::AppTimer {
+            token: r.get_u64()?,
+        },
+        3 => NetEvent::StartFlow {
+            dst: NodeId(r.get_u32()?),
+            bytes: r.get_u64()?,
+        },
+        4 => NetEvent::SendDatagram {
+            dst: NodeId(r.get_u32()?),
+            bytes: r.get_u32()?,
+            meta: r.get_u64()?,
+        },
+        5 => NetEvent::Fault {
+            kind: get_fault_kind(r)?,
+        },
+        other => return Err(r.corrupt(format!("unknown event kind {other}"))),
+    })
+}
+
+pub fn put_event_record(w: &mut ByteWriter, ev: &EventRecord<NetEvent>) {
+    put_time(w, ev.time);
+    w.put_u32(ev.target.0);
+    w.put_u64(ev.tag);
+    put_net_event(w, &ev.payload);
+}
+
+pub fn get_event_record(r: &mut ByteReader) -> Result<EventRecord<NetEvent>, MassfError> {
+    Ok(EventRecord {
+        time: get_time(r)?,
+        target: LpId(r.get_u32()?),
+        tag: r.get_u64()?,
+        payload: get_net_event(r)?,
+    })
+}
+
+pub fn put_resume_state(w: &mut ByteWriter, s: &ResumeState<NetEvent>) {
+    put_u32s(w, &s.counters);
+    w.put_count(s.events.len());
+    for ev in &s.events {
+        put_event_record(w, ev);
+    }
+}
+
+pub fn get_resume_state(r: &mut ByteReader) -> Result<ResumeState<NetEvent>, MassfError> {
+    let counters = get_u32s(r)?;
+    // An event record is at least 21 bytes (time + target + tag + kind).
+    let n = r.get_count(21)?;
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        events.push(get_event_record(r)?);
+    }
+    Ok(ResumeState { events, counters })
+}
+
+fn put_sender(w: &mut ByteWriter, s: &TcpSenderState) {
+    w.put_u32(s.total_segments);
+    w.put_u32(s.acked);
+    w.put_u32(s.next_seq);
+    w.put_f64(s.cwnd);
+    w.put_f64(s.ssthresh);
+    w.put_u32(s.dup_acks);
+    put_opt_time(w, s.srtt);
+    put_time(w, s.rttvar);
+    put_time(w, s.rto);
+    w.put_u32(s.timer_epoch);
+    match s.rtt_probe {
+        None => w.put_u8(0),
+        Some((seq, at)) => {
+            w.put_u8(1);
+            w.put_u32(seq);
+            put_time(w, at);
+        }
+    }
+    put_bool(w, s.retransmitted_low);
+    w.put_u32(s.retries);
+    w.put_u32(s.max_retries);
+    put_bool(w, s.done);
+    put_bool(w, s.aborted);
+}
+
+fn get_sender(r: &mut ByteReader) -> Result<TcpSenderState, MassfError> {
+    Ok(TcpSenderState {
+        total_segments: r.get_u32()?,
+        acked: r.get_u32()?,
+        next_seq: r.get_u32()?,
+        cwnd: r.get_f64()?,
+        ssthresh: r.get_f64()?,
+        dup_acks: r.get_u32()?,
+        srtt: get_opt_time(r)?,
+        rttvar: get_time(r)?,
+        rto: get_time(r)?,
+        timer_epoch: r.get_u32()?,
+        rtt_probe: if get_bool(r)? {
+            Some((r.get_u32()?, get_time(r)?))
+        } else {
+            None
+        },
+        retransmitted_low: get_bool(r)?,
+        retries: r.get_u32()?,
+        max_retries: r.get_u32()?,
+        done: get_bool(r)?,
+        aborted: get_bool(r)?,
+    })
+}
+
+fn put_flow_entry(w: &mut ByteWriter, f: &FlowEntryState) {
+    w.put_u64(f.flow.0);
+    put_sender(w, &f.sender);
+    put_nodes(w, &f.path);
+    w.put_u32(f.dst.0);
+    w.put_u32(f.armed_epoch);
+    put_bool(w, f.unroutable);
+}
+
+fn get_flow_entry(r: &mut ByteReader) -> Result<FlowEntryState, MassfError> {
+    Ok(FlowEntryState {
+        flow: FlowId(r.get_u64()?),
+        sender: get_sender(r)?,
+        path: get_nodes(r)?,
+        dst: NodeId(r.get_u32()?),
+        armed_epoch: r.get_u32()?,
+        unroutable: get_bool(r)?,
+    })
+}
+
+fn put_receiver_entry(w: &mut ByteWriter, e: &ReceiverEntryState) {
+    w.put_u32(e.node.0);
+    w.put_u64(e.flow.0);
+    w.put_u32(e.rcv_next);
+    w.put_u64(e.segments_seen);
+}
+
+fn get_receiver_entry(r: &mut ByteReader) -> Result<ReceiverEntryState, MassfError> {
+    Ok(ReceiverEntryState {
+        node: NodeId(r.get_u32()?),
+        flow: FlowId(r.get_u64()?),
+        rcv_next: r.get_u32()?,
+        segments_seen: r.get_u64()?,
+    })
+}
+
+pub fn put_route_cache(w: &mut ByteWriter, c: &RouteCacheState) {
+    w.put_u64(c.capacity);
+    w.put_count(c.shards.len());
+    for shard in &c.shards {
+        put_shard(w, shard);
+    }
+}
+
+fn put_shard(w: &mut ByteWriter, s: &RouteCacheShardState) {
+    w.put_count(s.entries.len());
+    for e in &s.entries {
+        w.put_u64(e.key);
+        w.put_u64(e.stamp);
+        match &e.path {
+            None => w.put_u8(0),
+            Some(p) => {
+                w.put_u8(1);
+                put_nodes(w, p);
+            }
+        }
+    }
+    w.put_count(s.queue.len());
+    for &(stamp, key) in &s.queue {
+        w.put_u64(stamp);
+        w.put_u64(key);
+    }
+    w.put_u64(s.stamp);
+}
+
+pub fn get_route_cache(r: &mut ByteReader) -> Result<RouteCacheState, MassfError> {
+    let capacity = r.get_u64()?;
+    // A shard is at least 24 bytes (two counts + stamp).
+    let n = r.get_count(24)?;
+    let mut shards = Vec::with_capacity(n);
+    for _ in 0..n {
+        shards.push(get_shard(r)?);
+    }
+    Ok(RouteCacheState { capacity, shards })
+}
+
+fn get_shard(r: &mut ByteReader) -> Result<RouteCacheShardState, MassfError> {
+    let n = r.get_count(17)?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = r.get_u64()?;
+        let stamp = r.get_u64()?;
+        let path = if get_bool(r)? {
+            Some(get_nodes(r)?)
+        } else {
+            None
+        };
+        entries.push(RouteCacheEntryState { key, stamp, path });
+    }
+    let qn = r.get_count(16)?;
+    let mut queue = Vec::with_capacity(qn);
+    for _ in 0..qn {
+        let stamp = r.get_u64()?;
+        let key = r.get_u64()?;
+        queue.push((stamp, key));
+    }
+    let stamp = r.get_u64()?;
+    Ok(RouteCacheShardState {
+        entries,
+        queue,
+        stamp,
+    })
+}
+
+fn put_profile(w: &mut ByteWriter, p: &ProfileData) {
+    put_u64s(w, &p.node_packets);
+    put_u64s(w, &p.link_packets);
+    w.put_u64(p.drops);
+    w.put_u64(p.completed_flows);
+    w.put_u64(p.completed_segments);
+    w.put_u64(p.unroutable);
+    w.put_u64(p.fault_drops);
+    w.put_u64(p.aborted_flows);
+    w.put_u64(p.fault_events);
+    w.put_u64(p.route_cache.hits);
+    w.put_u64(p.route_cache.misses);
+    w.put_u64(p.route_cache.evictions);
+}
+
+fn get_profile(r: &mut ByteReader) -> Result<ProfileData, MassfError> {
+    Ok(ProfileData {
+        node_packets: get_u64s(r)?,
+        link_packets: get_u64s(r)?,
+        drops: r.get_u64()?,
+        completed_flows: r.get_u64()?,
+        completed_segments: r.get_u64()?,
+        unroutable: r.get_u64()?,
+        fault_drops: r.get_u64()?,
+        aborted_flows: r.get_u64()?,
+        fault_events: r.get_u64()?,
+        route_cache: RouteCacheStats {
+            hits: r.get_u64()?,
+            misses: r.get_u64()?,
+            evictions: r.get_u64()?,
+        },
+    })
+}
+
+pub fn put_world_state(w: &mut ByteWriter, s: &WorldState) {
+    put_u32s(w, &s.flow_counter);
+    w.put_count(s.busy_until.len());
+    for &t in &s.busy_until {
+        put_time(w, t);
+    }
+    w.put_count(s.flows.len());
+    for f in &s.flows {
+        put_flow_entry(w, f);
+    }
+    w.put_count(s.receivers.len());
+    for e in &s.receivers {
+        put_receiver_entry(w, e);
+    }
+    put_route_cache(w, &s.route_cache);
+    put_profile(w, &s.profile);
+    w.put_u32(s.max_retries);
+}
+
+pub fn get_world_state(r: &mut ByteReader) -> Result<WorldState, MassfError> {
+    let flow_counter = get_u32s(r)?;
+    let n = r.get_count(8)?;
+    let mut busy_until = Vec::with_capacity(n);
+    for _ in 0..n {
+        busy_until.push(get_time(r)?);
+    }
+    // A flow entry is at least 96 bytes; receivers are exactly 24.
+    let fn_ = r.get_count(96)?;
+    let mut flows = Vec::with_capacity(fn_);
+    for _ in 0..fn_ {
+        flows.push(get_flow_entry(r)?);
+    }
+    let rn = r.get_count(24)?;
+    let mut receivers = Vec::with_capacity(rn);
+    for _ in 0..rn {
+        receivers.push(get_receiver_entry(r)?);
+    }
+    let route_cache = get_route_cache(r)?;
+    let profile = get_profile(r)?;
+    let max_retries = r.get_u32()?;
+    Ok(WorldState {
+        flow_counter,
+        busy_until,
+        flows,
+        receivers,
+        route_cache,
+        profile,
+        max_retries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_packet() -> Packet {
+        Packet {
+            flow: FlowId::new(NodeId(3), 7),
+            meta: 99,
+            path: vec![NodeId(3), NodeId(1), NodeId(5)].into(),
+            dst: NodeId(5),
+            seq: 12,
+            size_bytes: 1500,
+            hop: 1,
+            kind: PacketKind::Data,
+        }
+    }
+
+    fn sample_events() -> Vec<NetEvent> {
+        vec![
+            NetEvent::Arrive(sample_packet()),
+            NetEvent::RtoTimer {
+                flow: FlowId::new(NodeId(3), 7),
+                epoch: 4,
+            },
+            NetEvent::AppTimer { token: 17 },
+            NetEvent::StartFlow {
+                dst: NodeId(2),
+                bytes: 500_000,
+            },
+            NetEvent::SendDatagram {
+                dst: NodeId(4),
+                bytes: 900,
+                meta: 5,
+            },
+            NetEvent::Fault {
+                kind: FaultKind::AsAdjacencyFail { as_a: 1, as_b: 2 },
+            },
+            NetEvent::Fault {
+                kind: FaultKind::LinkDown(LinkId(6)),
+            },
+        ]
+    }
+
+    fn round_trip_event(ev: &NetEvent) -> NetEvent {
+        let mut w = ByteWriter::new();
+        put_net_event(&mut w, ev);
+        let buf = w.into_inner();
+        let mut r = ByteReader::new(&buf, "test");
+        let out = get_net_event(&mut r).expect("decode");
+        r.finish().expect("consumed");
+        out
+    }
+
+    #[test]
+    fn net_events_round_trip() {
+        for ev in sample_events() {
+            let back = round_trip_event(&ev);
+            // NetEvent is not PartialEq (it holds an Arc); compare debug
+            // renderings, which print every field.
+            assert_eq!(format!("{back:?}"), format!("{ev:?}"));
+        }
+    }
+
+    #[test]
+    fn resume_state_round_trips() {
+        let events = sample_events()
+            .into_iter()
+            .enumerate()
+            .map(|(i, payload)| EventRecord {
+                time: SimTime::from_ns(1_000 * i as u64),
+                target: LpId(i as u32),
+                tag: massf_engine::external_tag(i as u32),
+                payload,
+            })
+            .collect::<Vec<_>>();
+        let state = ResumeState {
+            events,
+            counters: vec![5, 0, 9],
+        };
+        let mut w = ByteWriter::new();
+        put_resume_state(&mut w, &state);
+        let buf = w.into_inner();
+        let mut r = ByteReader::new(&buf, "engine");
+        let back = get_resume_state(&mut r).expect("decode");
+        r.finish().expect("consumed");
+        assert_eq!(back.counters, state.counters);
+        assert_eq!(format!("{:?}", back.events), format!("{:?}", state.events));
+    }
+
+    #[test]
+    fn unknown_discriminants_are_rejected() {
+        for bad in [vec![9u8], vec![5u8, 77]] {
+            let mut r = ByteReader::new(&bad, "engine");
+            assert!(get_net_event(&mut r).is_err(), "{bad:?} must not decode");
+        }
+    }
+
+    #[test]
+    fn flag_bytes_must_be_binary() {
+        let mut r = ByteReader::new(&[2], "world");
+        assert!(get_bool(&mut r).is_err());
+    }
+}

@@ -1,0 +1,296 @@
+//! Little-endian byte-level encoding primitives, CRC-32, and FNV-1a.
+//!
+//! The snapshot format is hand-rolled (the workspace is offline — no
+//! serde-format crates) and deliberately boring: every scalar is
+//! little-endian, every sequence is a `u64` count followed by its
+//! elements, every optional a one-byte flag. [`ByteReader`] treats its
+//! input as hostile: every read is bounds-checked and every failure is
+//! a structured [`MassfError::SnapshotCorrupt`] naming the section —
+//! truncated or bit-flipped input can never panic or over-allocate.
+
+use massf_topology::MassfError;
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Streaming CRC-32 (IEEE polynomial, table-driven): feed any number of
+/// slices through [`Crc32::update`], read the checksum with
+/// [`Crc32::finish`]. Lets the snapshot container checksum a section
+/// header and its payload together without concatenating them.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    #[allow(clippy::new_without_default)] // a checksum accumulator has no meaningful default
+    pub fn new() -> Self {
+        Crc32 { state: !0u32 }
+    }
+
+    pub fn update(&mut self, data: &[u8]) -> &mut Self {
+        for &b in data {
+            self.state = (self.state >> 8) ^ CRC_TABLE[((self.state ^ b as u32) & 0xFF) as usize];
+        }
+        self
+    }
+
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// CRC-32 checksum of a single slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    Crc32::new().update(data).finish()
+}
+
+/// FNV-1a 64-bit hash — used for scenario fingerprints (a compact,
+/// deterministic digest; not collision-critical, since a fingerprint
+/// mismatch only refuses a restore it would be wrong to accept).
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn into_inner(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Encode an `f64` by its IEEE-754 bit pattern (exact round-trip,
+    /// NaN payloads included — restore-side validation decides what bit
+    /// patterns are acceptable, not the codec).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Encode a sequence length.
+    pub fn put_count(&mut self, n: usize) {
+        self.put_u64(n as u64);
+    }
+
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// Bounds-checked little-endian decoder over one snapshot section.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'a str,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`; `section` names the snapshot section in
+    /// every error this reader produces.
+    pub fn new(buf: &'a [u8], section: &'a str) -> Self {
+        ByteReader {
+            buf,
+            pos: 0,
+            section,
+        }
+    }
+
+    /// The structured error for a malformed read in this section.
+    pub fn corrupt(&self, reason: impl Into<String>) -> MassfError {
+        MassfError::SnapshotCorrupt {
+            section: self.section.to_owned(),
+            reason: reason.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], MassfError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(self.corrupt(format!(
+                "truncated: wanted {n} bytes at offset {}, section has {}",
+                self.pos,
+                self.buf.len()
+            ))),
+        }
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, MassfError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u16(&mut self) -> Result<u16, MassfError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, MassfError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, MassfError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, MassfError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Decode a sequence length whose elements occupy at least
+    /// `min_elem_bytes` each. Rejecting counts the remaining bytes
+    /// cannot possibly hold keeps a bit-flipped length from driving a
+    /// multi-gigabyte `Vec` preallocation.
+    pub fn get_count(&mut self, min_elem_bytes: usize) -> Result<usize, MassfError> {
+        let n = self.get_u64()?;
+        let fits = usize::try_from(n)
+            .ok()
+            .and_then(|n| n.checked_mul(min_elem_bytes.max(1)))
+            .is_some_and(|bytes| bytes <= self.remaining());
+        if !fits {
+            return Err(self.corrupt(format!(
+                "sequence of {n} elements cannot fit in {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        // simlint: allow(cast-lossy) -- fits-in-remaining check above bounds n well below usize::MAX
+        Ok(n as usize)
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Assert the section was consumed exactly; trailing bytes mean a
+    /// corrupt or mismatched payload.
+    pub fn finish(self) -> Result<(), MassfError> {
+        if self.remaining() != 0 {
+            return Err(self.corrupt(format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        // Streaming over split slices matches the single-shot digest.
+        assert_eq!(
+            Crc32::new().update(b"1234").update(b"56789").finish(),
+            0xCBF4_3926
+        );
+    }
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn round_trip_all_scalars() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(1 << 40);
+        w.put_f64(2.5);
+        w.put_count(3);
+        w.put_bytes(&[10, 11, 12]);
+        let buf = w.into_inner();
+        let mut r = ByteReader::new(&buf, "test");
+        assert_eq!(r.get_u8().expect("u8"), 7);
+        assert_eq!(r.get_u16().expect("u16"), 300);
+        assert_eq!(r.get_u32().expect("u32"), 70_000);
+        assert_eq!(r.get_u64().expect("u64"), 1 << 40);
+        assert_eq!(r.get_f64().expect("f64"), 2.5);
+        let n = r.get_count(1).expect("count");
+        assert_eq!(n, 3);
+        for want in [10, 11, 12] {
+            assert_eq!(r.get_u8().expect("elem"), want);
+        }
+        r.finish().expect("fully consumed");
+    }
+
+    #[test]
+    fn truncated_reads_are_structured_errors() {
+        let mut r = ByteReader::new(&[1, 2], "engine");
+        match r.get_u32() {
+            Err(MassfError::SnapshotCorrupt { section, reason }) => {
+                assert_eq!(section, "engine");
+                assert!(reason.contains("truncated"), "{reason}");
+            }
+            other => panic!("expected SnapshotCorrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_counts_cannot_overallocate() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX); // claims ~2^64 elements
+        let buf = w.into_inner();
+        let mut r = ByteReader::new(&buf, "world");
+        assert!(r.get_count(8).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let r = ByteReader::new(&[0], "meta");
+        assert!(r.finish().is_err());
+    }
+}

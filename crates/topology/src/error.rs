@@ -39,6 +39,24 @@ pub enum MassfError {
         event_time_ns: u64,
         window_ns: u64,
     },
+    /// A snapshot file (or one of its sections) failed structural
+    /// validation: bad magic, truncated payload, CRC mismatch, or a
+    /// field that decodes to an impossible value. `section` names the
+    /// part that failed ("header", "events", "world", ...), `reason`
+    /// says what was wrong. Torn writes and bit rot land here — the
+    /// loader must reject, never panic or silently load garbage.
+    SnapshotCorrupt { section: String, reason: String },
+    /// The snapshot was written by an incompatible format version.
+    SnapshotVersionMismatch { found: u32, expected: u32 },
+    /// An OS-level I/O failure while reading or writing a snapshot
+    /// (open, read, write, fsync, rename). `std::io::Error` is neither
+    /// `Clone` nor `Eq`, so only its rendering is carried.
+    SnapshotIo { path: String, reason: String },
+    /// An event handle did not match its arena slot's generation: the
+    /// payload was already taken (or the handle belongs to a different
+    /// arena). Fallible executor paths surface this instead of the hot
+    /// loop's panic.
+    StaleEventHandle { index: u32, gen: u32 },
 }
 
 impl fmt::Display for MassfError {
@@ -67,6 +85,20 @@ impl fmt::Display for MassfError {
                  event at {event_time_ns} ns inside the current {window_ns} ns window \
                  (window exceeds the partition's MLL?)"
             ),
+            MassfError::SnapshotCorrupt { section, reason } => {
+                write!(f, "corrupt snapshot: section `{section}`: {reason}")
+            }
+            MassfError::SnapshotVersionMismatch { found, expected } => write!(
+                f,
+                "snapshot format version {found} is not supported (expected {expected})"
+            ),
+            MassfError::SnapshotIo { path, reason } => {
+                write!(f, "snapshot I/O error on {path}: {reason}")
+            }
+            MassfError::StaleEventHandle { index, gen } => write!(
+                f,
+                "stale event handle: slot {index} generation {gen} was already taken"
+            ),
         }
     }
 }
@@ -85,6 +117,24 @@ mod tests {
         assert!(e.to_string().contains("not adjacent"));
         let e = MassfError::InvalidFaultScript("link 99 out of range".into());
         assert!(e.to_string().contains("link 99"));
+        let e = MassfError::SnapshotCorrupt {
+            section: "events".into(),
+            reason: "crc mismatch".into(),
+        };
+        assert!(e.to_string().contains("events"));
+        assert!(e.to_string().contains("crc mismatch"));
+        let e = MassfError::SnapshotVersionMismatch {
+            found: 9,
+            expected: 1,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = MassfError::SnapshotIo {
+            path: "/tmp/x.snap".into(),
+            reason: "permission denied".into(),
+        };
+        assert!(e.to_string().contains("/tmp/x.snap"));
+        let e = MassfError::StaleEventHandle { index: 4, gen: 7 };
+        assert!(e.to_string().contains("slot 4"));
     }
 
     #[test]

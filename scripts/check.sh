@@ -3,8 +3,9 @@
 # Run from anywhere; operates on the repository containing this script.
 #
 #   scripts/check.sh          full gate (including the release-mode
-#                             fault_flap_study, route_resolution and
-#                             engine_hotpath smoke runs)
+#                             fault_flap_study, route_resolution,
+#                             engine_hotpath, mem_footprint and
+#                             checkpoint_study smoke runs)
 #   scripts/check.sh --fast   skip the release-mode smoke runs
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -41,6 +42,8 @@ if [ "$FAST" -eq 0 ]; then
     cargo bench -q -p massf-bench --bench engine_hotpath -- --smoke
     echo "== mem_footprint --smoke =="
     cargo run --release -q -p massf-bench --features alloc-count --bin mem_footprint -- --smoke
+    echo "== checkpoint_study --smoke =="
+    cargo run --release -q -p massf-bench --bin checkpoint_study -- --smoke
 else
     echo "== release-mode smoke runs skipped (--fast) =="
 fi
