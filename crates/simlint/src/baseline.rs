@@ -126,6 +126,9 @@ mod tests {
             rule,
             path: path.to_string(),
             line: 1,
+            col: 1,
+            caret: 0,
+            len: 1,
             snippet: snippet.to_string(),
             message: String::new(),
             severity: sev,

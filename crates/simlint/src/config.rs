@@ -68,6 +68,11 @@ pub struct Config {
     /// Workspace-relative path prefixes to skip (fixtures, vendored
     /// code). `target` directories are always skipped.
     pub exclude: Vec<String>,
+    /// D6: workspace-relative path of the snapshot codec file.
+    pub drift_codec: String,
+    /// D6: type names whose struct fields must round-trip through the
+    /// codec. Empty list disables the rule.
+    pub drift_types: Vec<String>,
     rules: BTreeMap<&'static str, RuleConfig>,
 }
 
@@ -111,6 +116,40 @@ impl Default for Config {
             },
         );
         rules.insert(
+            Rule::FloatOrder.slug(),
+            RuleConfig {
+                severity: Severity::Deny,
+                scope: CrateScope::Include(
+                    [
+                        "engine",
+                        "parutil",
+                        "netsim",
+                        "routing",
+                        "partition",
+                        "core",
+                        "snapshot",
+                        "faults",
+                    ]
+                    .map(String::from)
+                    .to_vec(),
+                ),
+            },
+        );
+        rules.insert(
+            Rule::DeterminismTaint.slug(),
+            RuleConfig {
+                severity: Severity::Deny,
+                scope: CrateScope::Exclude(vec!["bench".to_string()]),
+            },
+        );
+        rules.insert(
+            Rule::SnapshotDrift.slug(),
+            RuleConfig {
+                severity: Severity::Deny,
+                scope: CrateScope::All,
+            },
+        );
+        rules.insert(
             Rule::UnwrapAudit.slug(),
             RuleConfig {
                 severity: Severity::Deny,
@@ -127,6 +166,23 @@ impl Default for Config {
         Config {
             include: vec!["crates".to_string(), "tests".to_string()],
             exclude: vec!["crates/simlint/tests/fixtures".to_string()],
+            drift_codec: "crates/snapshot/src/codec.rs".to_string(),
+            drift_types: [
+                "WorldState",
+                "FlowEntryState",
+                "ReceiverEntryState",
+                "TcpSenderState",
+                "RouteCacheState",
+                "RouteCacheShardState",
+                "RouteCacheEntryState",
+                "ProfileData",
+                "RouteCacheStats",
+                "ResumeState",
+                "Packet",
+                "EventRecord",
+            ]
+            .map(String::from)
+            .to_vec(),
             rules,
         }
     }
@@ -195,6 +251,15 @@ impl Config {
                         return Err(format!(
                             "section [rule.{slug}]: `{slug}` is not configurable"
                         ));
+                    }
+                    // D6-specific keys live on Config, not RuleConfig.
+                    if rule == Rule::SnapshotDrift && key == "codec" {
+                        cfg.drift_codec = parse_string(value, lineno)?;
+                        continue;
+                    }
+                    if rule == Rule::SnapshotDrift && key == "types" {
+                        cfg.drift_types = parse_string_array(value, lineno)?;
+                        continue;
                     }
                     let entry = cfg.rules.entry(rule.slug()).or_insert_with(|| RuleConfig {
                         severity: Severity::Deny,

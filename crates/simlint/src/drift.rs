@@ -1,0 +1,331 @@
+//! D6 `snapshot-drift`: the cross-file structural rule.
+//!
+//! The snapshot container round-trips world state through the
+//! hand-written codec in `crates/snapshot/src/codec.rs`. Adding a field
+//! to a serialized struct without touching the codec compiles cleanly
+//! and round-trips silently wrong — the field is dropped on restore.
+//! This pass makes that drift a gate failure at the field's
+//! declaration site.
+//!
+//! How it works (no type inference, resilient to refactors):
+//!
+//! 1. Parse the codec file. Every `fn put_*` whose signature mentions a
+//!    tracked type name is an *encoder* for it; every `fn get_*` whose
+//!    signature mentions it (usually in the return type) is a
+//!    *decoder*. Discovery is signature-driven because codec fn names
+//!    don't always echo the type (`put_sender` serializes
+//!    `TcpSenderState`).
+//! 2. Encode-side mentions are identifiers preceded by `.` in encoder
+//!    bodies (field reads); decode-side mentions are *any* identifier
+//!    in decoder bodies (struct-literal shorthand `State { key, stamp }`
+//!    never dots the names). Types with no dedicated codec fn (their
+//!    fields are inlined into a parent's fns, like `RouteCacheStats`
+//!    inside `put_profile`) fall back to whole-codec-file mention sets.
+//! 3. Every field of the tracked type's struct definition must appear
+//!    in BOTH sets; a miss is reported at the field's line, suppressible
+//!    with `// simlint: allow(snapshot-drift) -- <reason>` there.
+//!
+//! When the codec file is absent (non-snapshot workspaces, temp test
+//! workspaces) the pass is silent: there is nothing to drift from.
+
+use crate::config::{Config, Severity};
+use crate::lexer::{lex, Tok, TokKind};
+use crate::parser::{flatten, parse, Item, ItemKind};
+use crate::rules::{parse_suppressions, Rule, Violation};
+use std::collections::BTreeSet;
+
+/// Run the drift pass over pre-read workspace sources
+/// (`(relative path, crate, source)` tuples).
+pub fn scan_drift(files: &[(String, String, String)], cfg: &Config) -> Vec<Violation> {
+    let severity = cfg.rule(Rule::SnapshotDrift).severity;
+    if severity == Severity::Off || cfg.drift_types.is_empty() {
+        return Vec::new();
+    }
+    let Some((_, _, codec_src)) = files.iter().find(|(rel, _, _)| *rel == cfg.drift_codec) else {
+        return Vec::new(); // no codec in this workspace: nothing to drift from
+    };
+
+    let (codec_toks, _) = lex(codec_src);
+    let codec_items = parse(&codec_toks);
+    let codec_fns: Vec<&Item> = flatten(&codec_items)
+        .into_iter()
+        .filter(|it| it.kind == ItemKind::Fn && !it.is_test)
+        .collect();
+
+    // Whole-file fallback mention sets, computed once.
+    let file_encode = dot_idents(&codec_toks, 0, codec_toks.len());
+    let file_decode = all_idents(&codec_toks, 0, codec_toks.len());
+
+    let mut out = Vec::new();
+    for ty in &cfg.drift_types {
+        // Signature-driven encoder/decoder discovery.
+        let mut encode: BTreeSet<String> = BTreeSet::new();
+        let mut decode: BTreeSet<String> = BTreeSet::new();
+        let mut have_enc = false;
+        let mut have_dec = false;
+        for f in &codec_fns {
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            let sig_mentions_ty = codec_toks[f.span.0..open]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == *ty);
+            if !sig_mentions_ty {
+                continue;
+            }
+            if f.name.starts_with("put_") {
+                have_enc = true;
+                encode.extend(dot_idents(&codec_toks, open, close + 1));
+            } else if f.name.starts_with("get_") {
+                have_dec = true;
+                decode.extend(all_idents(&codec_toks, open, close + 1));
+            }
+        }
+        let encode = if have_enc { &encode } else { &file_encode };
+        let decode = if have_dec { &decode } else { &file_decode };
+
+        // Find the struct definition and check each field.
+        for (rel, krate, src) in files {
+            if !cfg.applies(Rule::SnapshotDrift, krate) {
+                continue;
+            }
+            // Cheap substring prefilter with an ident-boundary check, so
+            // `struct RouteCacheState` does not match from within
+            // `struct RouteCacheStats`.
+            let needle = format!("struct {ty}");
+            let boundary_hit = src.match_indices(&needle).any(|(at, _)| {
+                src[at + needle.len()..]
+                    .chars()
+                    .next()
+                    .is_none_or(|c| !c.is_alphanumeric() && c != '_')
+            });
+            if !boundary_hit {
+                continue;
+            }
+            let (toks, comments) = lex(src);
+            let items = parse(&toks);
+            let sup = parse_suppressions(&comments);
+            let lines: Vec<&str> = src.lines().collect();
+            for it in flatten(&items) {
+                if it.kind != ItemKind::Struct || it.name != *ty || it.is_test {
+                    continue;
+                }
+                for field in &it.fields {
+                    let miss_enc = !encode.contains(&field.name);
+                    let miss_dec = !decode.contains(&field.name);
+                    if !(miss_enc || miss_dec) {
+                        continue;
+                    }
+                    if sup.allows(Rule::SnapshotDrift, field.line) {
+                        continue;
+                    }
+                    let side = match (miss_enc, miss_dec) {
+                        (true, true) => "both the encode (put_*) and decode (get_*) paths",
+                        (true, false) => "the encode path (put_*)",
+                        (false, true) => "the decode path (get_*)",
+                        (false, false) => unreachable!(),
+                    };
+                    let raw = lines.get(field.line as usize - 1).copied().unwrap_or("");
+                    out.push(Violation::at(
+                        Rule::SnapshotDrift,
+                        rel,
+                        field.line,
+                        field.col,
+                        field.name.len() as u32,
+                        raw,
+                        format!(
+                            "field `{}` of `{ty}` is missing from {side} in {}",
+                            field.name, cfg.drift_codec
+                        ),
+                        severity,
+                    ));
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    out.dedup();
+    out
+}
+
+/// Identifiers preceded by `.` in `[lo, hi)` — field accesses.
+fn dot_idents(toks: &[Tok], lo: usize, hi: usize) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
+    for j in lo.max(1)..hi.min(toks.len()) {
+        if toks[j].kind == TokKind::Ident && toks[j - 1].text == "." {
+            set.insert(toks[j].text.clone());
+        }
+    }
+    set
+}
+
+/// Every identifier in `[lo, hi)`.
+fn all_idents(toks: &[Tok], lo: usize, hi: usize) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
+    for t in toks.iter().take(hi.min(toks.len())).skip(lo) {
+        if t.kind == TokKind::Ident {
+            set.insert(t.text.clone());
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_for(codec: &str, types: &[&str]) -> Config {
+        let mut cfg = Config::default();
+        cfg.drift_codec = codec.to_string();
+        cfg.drift_types = types.iter().map(|s| s.to_string()).collect();
+        cfg
+    }
+
+    const CODEC: &str = r#"
+        pub fn put_world_state(out: &mut Vec<u8>, ws: &WorldState) {
+            put_u64(out, ws.flow_counter);
+            put_u64(out, ws.seedling);
+        }
+        pub fn get_world_state(r: &mut Reader) -> WorldState {
+            let flow_counter = get_u64(r);
+            let seedling = get_u64(r);
+            WorldState { flow_counter, seedling }
+        }
+    "#;
+
+    const STRUCT_OK: &str = r#"
+        pub struct WorldState {
+            pub flow_counter: u64,
+            pub seedling: u64,
+        }
+    "#;
+
+    fn run(codec: &str, def: &str, types: &[&str]) -> Vec<Violation> {
+        let files = vec![
+            (
+                "crates/snapshot/src/codec.rs".to_string(),
+                "snapshot".to_string(),
+                codec.to_string(),
+            ),
+            (
+                "crates/netsim/src/world.rs".to_string(),
+                "netsim".to_string(),
+                def.to_string(),
+            ),
+        ];
+        scan_drift(&files, &cfg_for("crates/snapshot/src/codec.rs", types))
+    }
+
+    #[test]
+    fn complete_codec_is_clean() {
+        assert_eq!(run(CODEC, STRUCT_OK, &["WorldState"]), vec![]);
+    }
+
+    #[test]
+    fn field_missing_from_both_paths_fires() {
+        let drifted = r#"
+            pub struct WorldState {
+                pub flow_counter: u64,
+                pub seedling: u64,
+                pub max_retries: u32,
+            }
+        "#;
+        let v = run(CODEC, drifted, &["WorldState"]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::SnapshotDrift);
+        assert_eq!(v[0].line, 5);
+        assert!(v[0].message.contains("max_retries"), "{}", v[0].message);
+        assert!(v[0].message.contains("both the encode"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn field_missing_from_one_path_names_the_side() {
+        // Encoded but never decoded: shows up in put_ but not get_.
+        let codec = r#"
+            fn put_world_state(out: &mut Vec<u8>, ws: &WorldState) {
+                put_u64(out, ws.flow_counter);
+                put_u64(out, ws.seedling);
+            }
+            fn get_world_state(r: &mut Reader) -> WorldState {
+                let flow_counter = get_u64(r);
+                WorldState { flow_counter, seedling: 0 }
+            }
+        "#;
+        // `seedling` appears as a struct-literal key in get_, so it IS a
+        // decode-side mention; drop it entirely instead.
+        let codec_missing_decode = r#"
+            fn put_world_state(out: &mut Vec<u8>, ws: &WorldState) {
+                put_u64(out, ws.flow_counter);
+                put_u64(out, ws.seedling);
+            }
+            fn get_world_state(r: &mut Reader) -> WorldState {
+                let flow_counter = get_u64(r);
+                WorldState { flow_counter, ..Default::default() }
+            }
+        "#;
+        assert_eq!(run(codec, STRUCT_OK, &["WorldState"]), vec![]);
+        let v = run(codec_missing_decode, STRUCT_OK, &["WorldState"]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("decode path"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn suppression_on_field_line_is_honored() {
+        let drifted = r#"
+            pub struct WorldState {
+                pub flow_counter: u64,
+                pub seedling: u64,
+                // simlint: allow(snapshot-drift) -- rebuilt on restore
+                pub scratch: u32,
+            }
+        "#;
+        assert_eq!(run(CODEC, drifted, &["WorldState"]), vec![]);
+    }
+
+    #[test]
+    fn missing_codec_file_is_silent() {
+        let files = vec![(
+            "crates/netsim/src/world.rs".to_string(),
+            "netsim".to_string(),
+            "pub struct WorldState { pub ghost: u64 }".to_string(),
+        )];
+        let v = scan_drift(
+            &files,
+            &cfg_for("crates/snapshot/src/codec.rs", &["WorldState"]),
+        );
+        assert_eq!(v, vec![]);
+    }
+
+    #[test]
+    fn untracked_types_and_test_structs_are_ignored() {
+        let def = r#"
+            pub struct Untracked { pub ghost: u64 }
+            #[cfg(test)]
+            mod tests {
+                struct WorldState { pub ghost: u64 }
+            }
+        "#;
+        assert_eq!(run(CODEC, def, &["WorldState"]), vec![]);
+    }
+
+    #[test]
+    fn inlined_type_falls_back_to_whole_file_mentions() {
+        // `RouteCacheStats` has no put_stats/get_stats fn; its fields are
+        // handled inside put_profile/get_profile.
+        let codec = r#"
+            fn put_profile(out: &mut Vec<u8>, p: &ProfileData) {
+                put_u64(out, p.stats.hits);
+            }
+            fn get_profile(r: &mut Reader) -> ProfileData {
+                let hits = get_u64(r);
+                ProfileData { stats: RouteCacheStats { hits } }
+            }
+        "#;
+        let def = "pub struct RouteCacheStats { pub hits: u64 }";
+        assert_eq!(run(codec, def, &["RouteCacheStats"]), vec![]);
+        let drifted = "pub struct RouteCacheStats { pub hits: u64, pub misses: u64 }";
+        let v = run(codec, drifted, &["RouteCacheStats"]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("misses"));
+    }
+}

@@ -4,8 +4,13 @@
 //! and keeps every comment with its line number (so suppression
 //! directives can be matched to the code they annotate).
 //!
-//! It does **not** build an AST; the rule engine in [`crate::rules`]
-//! works directly on the token stream.
+//! Every token carries its 1-based line *and column* (in characters),
+//! so rules can point a caret at the offending token and reports can
+//! emit editor-friendly `file:line:col` locations.
+//!
+//! It does **not** build an AST; the item/block structure the newer
+//! rules need is recovered by [`crate::parser`], which works directly
+//! on this token stream, and the older rules scan it flat.
 
 /// What kind of lexeme a token is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,25 +24,28 @@ pub enum TokKind {
     Str,
     /// Character or byte literal (`'x'`, `b'\n'`).
     Char,
-    /// Numeric literal (`42`, `0x1f`, `1e9`, `0.050_f64`).
+    /// Numeric literal (`42`, `0x1f`, `1e9`, `1.5e-3`, `0.050_f64`).
     Num,
-    /// Lifetime (`'a`, `'static`).
+    /// Lifetime (`'a`, `'static`, `'_`).
     Lifetime,
 }
 
-/// One token with its 1-based source line.
+/// One token with its 1-based source line and column.
 #[derive(Debug, Clone)]
 pub struct Tok {
     pub kind: TokKind,
     pub text: String,
     pub line: u32,
+    /// 1-based character column of the token's first character.
+    pub col: u32,
 }
 
-/// One comment (line `//…` or block `/*…*/`) with the 1-based line it
-/// starts on. Text includes the comment markers.
+/// One comment (line `//…` or block `/*…*/`) with the 1-based line and
+/// column it starts on. Text includes the comment markers.
 #[derive(Debug, Clone)]
 pub struct Comment {
     pub line: u32,
+    pub col: u32,
     pub text: String,
 }
 
@@ -49,6 +57,7 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
         chars: src.chars().collect(),
         pos: 0,
         line: 1,
+        col: 1,
         toks: Vec::new(),
         comments: Vec::new(),
     }
@@ -59,6 +68,7 @@ struct Lexer {
     chars: Vec<char>,
     pos: usize,
     line: u32,
+    col: u32,
     toks: Vec<Tok>,
     comments: Vec<Comment>,
 }
@@ -68,56 +78,65 @@ impl Lexer {
         self.chars.get(self.pos + ahead).copied()
     }
 
-    /// Consume one char, tracking line numbers.
+    /// Consume one char, tracking line and column numbers.
     fn bump(&mut self) -> Option<char> {
         let c = self.peek(0)?;
         self.pos += 1;
         if c == '\n' {
             self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
         }
         Some(c)
     }
 
-    fn push(&mut self, kind: TokKind, text: String, line: u32) {
-        self.toks.push(Tok { kind, text, line });
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.toks.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
     }
 
     fn run(mut self) -> (Vec<Tok>, Vec<Comment>) {
         while let Some(c) = self.peek(0) {
             let line = self.line;
+            let col = self.col;
             match c {
                 _ if c.is_whitespace() => {
                     self.bump();
                 }
-                '/' if self.peek(1) == Some('/') => self.line_comment(line),
-                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '/' if self.peek(1) == Some('/') => self.line_comment(line, col),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line, col),
                 '"' => {
                     let s = self.string_literal();
-                    self.push(TokKind::Str, s, line);
+                    self.push(TokKind::Str, s, line, col);
                 }
                 'r' | 'b' if self.starts_prefixed_literal() => {
                     let (kind, s) = self.prefixed_literal();
-                    self.push(kind, s, line);
+                    self.push(kind, s, line, col);
                 }
-                '\'' => self.quote(line),
+                '\'' => self.quote(line, col),
                 _ if c.is_alphabetic() || c == '_' => {
                     let s = self.ident();
-                    self.push(TokKind::Ident, s, line);
+                    self.push(TokKind::Ident, s, line, col);
                 }
                 _ if c.is_ascii_digit() => {
                     let s = self.number();
-                    self.push(TokKind::Num, s, line);
+                    self.push(TokKind::Num, s, line, col);
                 }
                 _ => {
                     self.bump();
-                    self.push(TokKind::Punct, c.to_string(), line);
+                    self.push(TokKind::Punct, c.to_string(), line, col);
                 }
             }
         }
         (self.toks, self.comments)
     }
 
-    fn line_comment(&mut self, line: u32) {
+    fn line_comment(&mut self, line: u32, col: u32) {
         let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if c == '\n' {
@@ -126,11 +145,11 @@ impl Lexer {
             text.push(c);
             self.bump();
         }
-        self.comments.push(Comment { line, text });
+        self.comments.push(Comment { line, col, text });
     }
 
-    /// Block comment; Rust block comments nest.
-    fn block_comment(&mut self, line: u32) {
+    /// Block comment; Rust block comments nest to any depth.
+    fn block_comment(&mut self, line: u32, col: u32) {
         let mut text = String::new();
         let mut depth = 0usize;
         while let Some(c) = self.peek(0) {
@@ -152,7 +171,7 @@ impl Lexer {
                 self.bump();
             }
         }
-        self.comments.push(Comment { line, text });
+        self.comments.push(Comment { line, col, text });
     }
 
     /// `"…"` with escape handling; returns the literal including quotes.
@@ -224,7 +243,9 @@ impl Lexer {
                 (TokKind::Char, s)
             }
             Some('#') if raw => {
-                // r#"…"# with any number of hashes.
+                // r#"…"# with any number of hash guards: the string only
+                // closes at a `"` followed by *exactly as many* hashes as
+                // opened it, so `"` and `"#` can appear inside `r##"…"##`.
                 let mut hashes = 0usize;
                 while self.peek(0) == Some('#') {
                     hashes += 1;
@@ -273,8 +294,11 @@ impl Lexer {
         }
     }
 
-    /// `'` starts either a char literal or a lifetime.
-    fn quote(&mut self, line: u32) {
+    /// `'` starts either a char literal or a lifetime. The ambiguity is
+    /// resolved by the third character: `'x'` closes after one payload
+    /// char (or after an escape), `'ident` never closes — so look for
+    /// the trailing quote, falling back to lifetime when absent.
+    fn quote(&mut self, line: u32, col: u32) {
         let next = self.peek(1);
         let after = self.peek(2);
         let is_char = match next {
@@ -301,12 +325,12 @@ impl Lexer {
                     }
                 }
             }
-            self.push(TokKind::Char, s, line);
+            self.push(TokKind::Char, s, line, col);
         } else {
             let mut s = String::new();
             s.push(self.bump().unwrap_or('\'')); // the '
             s.push_str(&self.ident());
-            self.push(TokKind::Lifetime, s, line);
+            self.push(TokKind::Lifetime, s, line, col);
         }
     }
 
@@ -325,7 +349,9 @@ impl Lexer {
 
     /// Number: digits, then letters/digits/underscores (hex, suffixes,
     /// exponents), plus one `.` only when a digit follows — so `0..n`
-    /// stays three tokens.
+    /// stays three tokens — and a signed exponent (`1.5e-3`, `2E+8`)
+    /// when the literal is decimal, so float literals survive as one
+    /// token for the float-order rule.
     fn number(&mut self) -> String {
         let mut s = String::new();
         let mut saw_dot = false;
@@ -335,6 +361,16 @@ impl Lexer {
                 self.bump();
             } else if c == '.' && !saw_dot && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
                 saw_dot = true;
+                s.push(c);
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && s.ends_with(['e', 'E'])
+                && !s.starts_with("0x")
+                && !s.starts_with("0X")
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                // Signed exponent of a decimal float; `0xAE-3` stays a
+                // subtraction because hex digits exclude an exponent.
                 s.push(c);
                 self.bump();
             } else {
@@ -355,6 +391,17 @@ pub fn str_literal_is_empty(lit: &str) -> bool {
     inner == "\"\""
 }
 
+/// Is `lit` (a [`TokKind::Num`] lexeme) a floating-point literal? True
+/// for decimal points (`0.5`), exponents (`1e9`, `1.5e-3`) and explicit
+/// `f32`/`f64` suffixes; hex/octal/binary literals are never floats.
+pub fn num_literal_is_float(lit: &str) -> bool {
+    let lower = lit.to_ascii_lowercase();
+    if lower.starts_with("0x") || lower.starts_with("0o") || lower.starts_with("0b") {
+        return false;
+    }
+    lower.contains('.') || lower.contains('e') || lower.ends_with("f32") || lower.ends_with("f64")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,6 +413,15 @@ mod tests {
             .filter(|t| t.kind == TokKind::Ident)
             .map(|t| t.text)
             .collect()
+    }
+
+    fn render(src: &str) -> String {
+        lex(src)
+            .0
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 
     #[test]
@@ -390,6 +446,42 @@ mod tests {
     }
 
     #[test]
+    fn multi_hash_raw_strings_swallow_shorter_guards() {
+        // `"#` inside an `r##"…"##` literal must not close it.
+        let src = r####"let s = r##"quote "# still inside"##; after"####;
+        let (toks, _) = lex(src);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1, "{toks:?}");
+        assert!(strs[0].text.contains("still inside"));
+        assert!(toks.iter().any(|t| t.text == "after"), "{toks:?}");
+        assert!(!toks.iter().any(|t| t.text == "still"));
+    }
+
+    #[test]
+    fn byte_raw_strings_with_guards() {
+        let src = r###"let b = br#"bytes "with" quotes"#; tail"###;
+        let (toks, _) = lex(src);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1,
+            "{toks:?}"
+        );
+        assert!(toks.iter().any(|t| t.text == "tail"));
+        assert!(!toks.iter().any(|t| t.text == "quotes"));
+    }
+
+    #[test]
+    fn unterminated_raw_string_closes_at_eof() {
+        // Tolerance contract: never hang, never panic, keep what we saw.
+        let (toks, _) = lex(r##"let s = r#"never closed"##);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1,
+            "{toks:?}"
+        );
+    }
+
+    #[test]
     fn lifetimes_vs_char_literals() {
         let (toks, _) = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
         let lifetimes: Vec<_> = toks
@@ -402,6 +494,47 @@ mod tests {
     }
 
     #[test]
+    fn lifetime_edge_forms() {
+        // `'_` anonymous lifetime, labeled loops, lifetime at EOF, and
+        // char literals whose payload is an identifier character.
+        let (toks, _) = lex("fn f(x: &'_ u8) { 'outer: loop { break 'outer; } }");
+        let lifetimes: Vec<String> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'_", "'outer", "'outer"], "{toks:?}");
+
+        let (toks, _) = lex("let r = 'r'; let u = '_'; let esc = '\\u{1F600}';");
+        let chars: Vec<String> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(chars, vec!["'r'", "'_'", "'\\u{1F600}'"], "{toks:?}");
+
+        let (toks, _) = lex("match c { 'a'..='z' => 1, _ => 0 }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Char).count(),
+            2,
+            "{toks:?}"
+        );
+        // Trailing lifetime at end of input must not loop or panic.
+        let (toks, _) = lex("&'a");
+        assert_eq!(toks.last().map(|t| t.text.as_str()), Some("'a"));
+        assert_eq!(toks.last().map(|t| t.kind), Some(TokKind::Lifetime));
+    }
+
+    #[test]
+    fn byte_char_with_escaped_quote() {
+        let (toks, _) = lex(r"let q = b'\''; next");
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(chars.len(), 1, "{toks:?}");
+        assert_eq!(chars[0].text, r"b'\''");
+        assert!(toks.iter().any(|t| t.text == "next"));
+    }
+
+    #[test]
     fn comments_are_captured_with_lines() {
         let src = "let a = 1;\n// simlint: allow(x) -- reason\nlet b = 2; // trailing\n";
         let (_, comments) = lex(src);
@@ -409,6 +542,7 @@ mod tests {
         assert_eq!(comments[0].line, 2);
         assert!(comments[0].text.contains("simlint"));
         assert_eq!(comments[1].line, 3);
+        assert_eq!(comments[1].col, 12);
     }
 
     #[test]
@@ -424,6 +558,21 @@ mod tests {
     }
 
     #[test]
+    fn deeply_nested_and_unterminated_block_comments() {
+        // Three levels, with stars and slashes scattered inside.
+        let (toks, comments) = lex("x /* 1 /* 2 /* 3 */ * / */ ** */ y");
+        assert_eq!(comments.len(), 1, "{comments:?}");
+        assert_eq!(render("x /* 1 /* 2 /* 3 */ * / */ ** */ y"), "x y");
+        assert_eq!(toks.len(), 2);
+        // Unterminated nesting swallows to EOF without panicking.
+        let (toks, comments) = lex("a /* open /* deeper */ still-open b");
+        assert_eq!(comments.len(), 1);
+        assert_eq!(toks.len(), 1, "everything after /* is comment: {toks:?}");
+        // A stray close without an open is plain punctuation.
+        assert_eq!(render("a */ b"), "a * / b");
+    }
+
+    #[test]
     fn ranges_are_not_floats() {
         let (toks, _) = lex("for i in 0..n { let f = 0.050; }");
         let nums: Vec<_> = toks
@@ -435,6 +584,19 @@ mod tests {
     }
 
     #[test]
+    fn signed_exponents_are_single_tokens() {
+        let (toks, _) = lex("let a = 1.5e-3; let b = 2E+8; let c = 9e4; let d = x - 3;");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1.5e-3", "2E+8", "9e4", "3"], "{toks:?}");
+        // Hex literals ending in E are subtraction, not an exponent.
+        assert_eq!(render("0xAE-3"), "0xAE - 3");
+    }
+
+    #[test]
     fn line_numbers_advance() {
         let (toks, _) = lex("a\nb\n\nc");
         let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
@@ -442,9 +604,32 @@ mod tests {
     }
 
     #[test]
+    fn columns_are_tracked() {
+        let (toks, _) = lex("let x = 1;\n    let yy = 2;");
+        let find = |name: &str| {
+            toks.iter()
+                .find(|t| t.text == name)
+                .map(|t| (t.line, t.col))
+        };
+        assert_eq!(find("x"), Some((1, 5)));
+        assert_eq!(find("yy"), Some((2, 9)));
+        assert_eq!(find("2"), Some((2, 14)));
+    }
+
+    #[test]
     fn empty_string_detection() {
         assert!(str_literal_is_empty("\"\""));
         assert!(!str_literal_is_empty("\"x\""));
         assert!(!str_literal_is_empty("\" \""));
+    }
+
+    #[test]
+    fn float_literal_detection() {
+        for f in ["0.5", "1e9", "1.5e-3", "2E+8", "3f64", "0.0f32", "1_000.0"] {
+            assert!(num_literal_is_float(f), "{f} is a float");
+        }
+        for n in ["42", "0x1f", "0o17", "0b101", "1_000", "7u32", "0xE3"] {
+            assert!(!num_literal_is_float(n), "{n} is not a float");
+        }
     }
 }

@@ -6,8 +6,9 @@
 //! determinism: runs must be bit-identical across thread and partition
 //! counts. That invariant is protected at runtime by the parallel
 //! determinism tests — and at *check time* by this tool, which scans
-//! every workspace source file with a hand-rolled lexer (no registry
-//! access, in the spirit of `shims/`) and enforces:
+//! every workspace source file with a hand-rolled lexer plus a
+//! tolerant Rust-subset item parser ([`parser`]; no registry access,
+//! in the spirit of `shims/`) and enforces:
 //!
 //! * **D1 `hash-iteration`** — no `HashMap`/`HashSet` iteration in
 //!   deterministic-critical crates (lookups are fine; iteration must go
@@ -15,6 +16,17 @@
 //! * **D2 `wall-clock`** — no `Instant::now`/`SystemTime` reads outside
 //!   the bench crate.
 //! * **D3 `entropy-rng`** — no entropy-seeded RNGs outside bench.
+//! * **D4 `float-order`** — no schedule-ordered float accumulation
+//!   over partition/worker-shaped state (float `+` is not
+//!   associative; sort by partition id or walk a slab in index order).
+//! * **D5 `determinism-taint`** — an intra-procedural dataflow pass:
+//!   host-derived values (wall clock, OS entropy, pointer addresses,
+//!   hash iteration) must not reach simulation inputs (event
+//!   emit/schedule, `SimTime::from_*`, seed stores), even laundered
+//!   through let-bindings and arithmetic.
+//! * **D6 `snapshot-drift`** — cross-file: every field of every type
+//!   the snapshot codec serializes must appear in BOTH the encode
+//!   (`put_*`) and decode (`get_*`) paths ([`drift`]).
 //! * **S1 `unwrap-audit`** — no `.unwrap()`, `.expect("")`, or `panic!`
 //!   in non-test code.
 //! * **S2 `cast-lossy`** — narrowing `as` casts in the engine/routing
@@ -23,16 +35,22 @@
 //! Rules are configured by the checked-in `simlint.toml`, suppressed
 //! per-site via `// simlint: allow(<rule>) -- <reason>` comments, and a
 //! `--baseline` file lets the gate fail only on *new* violations. See
-//! DESIGN.md §3.10 for the rationale behind each rule.
+//! DESIGN.md §3 items 10 and 15 for the rationale behind each rule, or
+//! `--explain <rule>` for the long form.
 //!
 //! CLI: `cargo run -p massf-simlint -- --workspace
-//! [--baseline simlint-baseline.txt] [--update-baseline]`.
+//! [--baseline simlint-baseline.txt] [--update-baseline]
+//! [--changed-since REV] [--format text|json]`; findings render
+//! compiler-style with caret spans, or as line-oriented JSON for
+//! `scripts/lint_annotations.sh`.
 
 #![forbid(unsafe_code)]
 
 pub mod baseline;
 pub mod config;
+pub mod drift;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 
@@ -55,6 +73,11 @@ pub struct Options {
     pub baseline_path: Option<PathBuf>,
     /// Rewrite the baseline from the current scan instead of comparing.
     pub update_baseline: bool,
+    /// Incremental mode: lint only files changed vs. this git rev
+    /// (plus untracked files). D6 snapshot-drift still runs across the
+    /// whole workspace — it is cross-file and cheap. Baseline entries
+    /// for unscanned files are not reported as stale in this mode.
+    pub changed_since: Option<String>,
 }
 
 impl Options {
@@ -64,6 +87,7 @@ impl Options {
             config_path: PathBuf::from("simlint.toml"),
             baseline_path: None,
             update_baseline: false,
+            changed_since: None,
         }
     }
 }
@@ -174,12 +198,30 @@ pub fn run(opts: &Options) -> Result<Outcome, String> {
     };
 
     let files = workspace_files(&opts.root, &cfg)?;
-    let mut violations = Vec::new();
+    let mut sources: Vec<(String, String, String)> = Vec::with_capacity(files.len());
     for (rel, krate) in &files {
         let src = fs::read_to_string(opts.root.join(rel))
             .map_err(|e| format!("cannot read {rel}: {e}"))?;
-        violations.extend(scan_source(rel, krate, &src, &cfg));
+        sources.push((rel.clone(), krate.clone(), src));
     }
+
+    // Incremental mode: restrict the per-file scan to changed files.
+    let changed = match &opts.changed_since {
+        Some(rev) => Some(changed_files(&opts.root, rev)?),
+        None => None,
+    };
+    let scanned: Vec<&(String, String, String)> = sources
+        .iter()
+        .filter(|(rel, _, _)| changed.as_ref().is_none_or(|ch| ch.contains(rel)))
+        .collect();
+
+    let mut violations = Vec::new();
+    for (rel, krate, src) in &scanned {
+        violations.extend(scan_source(rel, krate, src, &cfg));
+    }
+    // D6 is cross-file (a codec edit can drift a struct that did not
+    // change, and vice versa), so it always sees the whole workspace.
+    violations.extend(drift::scan_drift(&sources, &cfg));
     violations.sort_by(|a, b| {
         (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
     });
@@ -189,6 +231,11 @@ pub fn run(opts: &Options) -> Result<Outcome, String> {
     if let Some(bl_rel) = &opts.baseline_path {
         let bl_path = opts.root.join(bl_rel);
         if opts.update_baseline {
+            if opts.changed_since.is_some() {
+                return Err("--update-baseline requires a full scan; \
+                            drop --changed-since"
+                    .to_string());
+            }
             fs::write(&bl_path, Baseline::render(&violations))
                 .map_err(|e| format!("cannot write {}: {e}", bl_path.display()))?;
             baseline_written = true;
@@ -200,16 +247,58 @@ pub fn run(opts: &Options) -> Result<Outcome, String> {
             } else {
                 Baseline::default()
             };
-            comparison = Some(baseline.compare(&violations));
+            let mut cmp = baseline.compare(&violations);
+            if opts.changed_since.is_some() {
+                // A partial scan cannot tell "fixed" from "not scanned":
+                // only entries for files we did scan can be called stale.
+                cmp.stale.retain(|entry| {
+                    scanned
+                        .iter()
+                        .any(|(rel, _, _)| entry.contains(rel.as_str()))
+                });
+            }
+            comparison = Some(cmp);
         }
     }
 
     Ok(Outcome {
         violations,
         comparison,
-        files: files.len(),
+        files: scanned.len(),
         baseline_written,
     })
+}
+
+/// Workspace-relative paths of `.rs` files changed vs. `rev`, plus
+/// untracked files — `git diff --name-only <rev>` and `git ls-files
+/// --others --exclude-standard` against the workspace root.
+fn changed_files(root: &Path, rev: &str) -> Result<std::collections::BTreeSet<String>, String> {
+    let mut set = std::collections::BTreeSet::new();
+    for args in [
+        vec!["diff", "--name-only", rev],
+        vec!["ls-files", "--others", "--exclude-standard"],
+    ] {
+        let out = std::process::Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(&args)
+            .output()
+            .map_err(|e| format!("cannot run git {}: {e}", args.join(" ")))?;
+        if !out.status.success() {
+            return Err(format!(
+                "git {} failed: {}",
+                args.join(" "),
+                String::from_utf8_lossy(&out.stderr).trim()
+            ));
+        }
+        for line in String::from_utf8_lossy(&out.stdout).lines() {
+            let rel = line.trim().replace('\\', "/");
+            if rel.ends_with(".rs") {
+                set.insert(rel);
+            }
+        }
+    }
+    Ok(set)
 }
 
 #[cfg(test)]
@@ -229,6 +318,9 @@ mod tests {
             rule: Rule::UnwrapAudit,
             path: "a.rs".into(),
             line: 1,
+            col: 3,
+            caret: 2,
+            len: 6,
             snippet: "x.unwrap()".into(),
             message: String::new(),
             severity: Severity::Deny,

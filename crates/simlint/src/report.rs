@@ -1,16 +1,21 @@
-//! Human-readable reporting. Output is fully deterministic (sorted by
-//! path, then line, then rule) so simlint's own output can be diffed.
+//! Reporting. Output is fully deterministic (sorted by path, then
+//! line, then rule) so simlint's own output can be diffed.
+//!
+//! Two formats: compiler-style text with caret spans (default), and
+//! `--format json` — a JSON array with one object per line, consumed by
+//! `scripts/lint_annotations.sh` and CI annotators.
 
 use crate::baseline::Comparison;
 use crate::rules::Violation;
 use std::fmt::Write;
 
-/// Render `violations` in compiler style:
+/// Render `violations` in compiler style with a caret span:
 ///
 /// ```text
-/// crates/engine/src/lib.rs:42: deny hash-iteration (D1): `m.iter()` iterates …
-///     for (k, v) in m.iter() {
-///     = note: iteration order of HashMap/HashSet varies across runs; …
+/// crates/engine/src/lib.rs:42:19: deny hash-iteration (D1): `m.iter()` iterates …
+///    42 | for (k, v) in m.iter() {
+///       |               ^^^^^^^^
+///       = note: iteration order of HashMap/HashSet varies across runs; …
 /// ```
 pub fn render_violations(violations: &[Violation]) -> String {
     let mut sorted: Vec<&Violation> = violations.iter().collect();
@@ -21,19 +26,87 @@ pub fn render_violations(violations: &[Violation]) -> String {
     for v in sorted {
         let _ = writeln!(
             out,
-            "{}:{}: {} {} ({}): {}",
+            "{}:{}:{}: {} {} ({}): {}",
             v.path,
             v.line,
+            v.col,
             v.severity.label(),
             v.rule.slug(),
             v.rule.code(),
             v.message
         );
         if !v.snippet.is_empty() {
-            let _ = writeln!(out, "    {}", v.snippet);
+            let gutter = format!("{:>5}", v.line);
+            let _ = writeln!(out, "{gutter} | {}", v.snippet);
+            let _ = writeln!(
+                out,
+                "{:>5} | {}{}",
+                "",
+                " ".repeat(v.caret as usize),
+                "^".repeat(v.len.max(1) as usize)
+            );
         }
-        let _ = writeln!(out, "    = note: {}", v.rule.hint());
+        let _ = writeln!(out, "      = note: {}", v.rule.hint());
     }
+    out
+}
+
+/// Render `violations` as a JSON array, one object per line:
+///
+/// ```text
+/// [
+/// {"rule":"hash-iteration","code":"D1","path":"a.rs","line":3,"col":10,…},
+/// {"rule":"wall-clock","code":"D2",…}
+/// ]
+/// ```
+///
+/// The one-object-per-line layout lets line-oriented tools (grep, sed)
+/// consume it without a JSON parser; jq handles it as ordinary JSON.
+pub fn render_json(violations: &[Violation]) -> String {
+    let mut sorted: Vec<&Violation> = violations.iter().collect();
+    sorted.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+    let mut out = String::from("[\n");
+    for (i, v) in sorted.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{{\"rule\":{},\"code\":{},\"path\":{},\"line\":{},\"col\":{},\
+             \"severity\":{},\"message\":{},\"snippet\":{},\"hint\":{}}}",
+            json_str(v.rule.slug()),
+            json_str(v.rule.code()),
+            json_str(&v.path),
+            v.line,
+            v.col,
+            json_str(v.severity.label()),
+            json_str(&v.message),
+            json_str(&v.snippet),
+            json_str(v.rule.hint()),
+        );
+        out.push_str(if i + 1 < sorted.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// JSON string literal with the escapes the format requires.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
     out
 }
 
@@ -66,13 +139,15 @@ mod tests {
     use crate::config::Severity;
     use crate::rules::Rule;
 
-    #[test]
-    fn rendering_is_sorted_and_complete() {
-        let vs = vec![
+    fn sample() -> Vec<Violation> {
+        vec![
             Violation {
                 rule: Rule::WallClock,
                 path: "crates/b.rs".into(),
                 line: 9,
+                col: 9,
+                caret: 8,
+                len: 12,
                 snippet: "let t = Instant::now();".into(),
                 message: "`Instant::now()` wall-clock read".into(),
                 severity: Severity::Deny,
@@ -81,17 +156,61 @@ mod tests {
                 rule: Rule::HashIteration,
                 path: "crates/a.rs".into(),
                 line: 3,
-                snippet: "for k in m.keys() {".into(),
+                col: 15,
+                caret: 14,
+                len: 4,
+                snippet: "for (k, v) in m.keys() {".into(),
                 message: "`m.keys()` iterates an unordered collection".into(),
                 severity: Severity::Deny,
             },
-        ];
+        ]
+    }
+
+    #[test]
+    fn rendering_is_sorted_and_complete() {
+        let vs = sample();
         let text = render_violations(&vs);
-        let a = text.find("crates/a.rs:3").expect("a.rs reported");
-        let b = text.find("crates/b.rs:9").expect("b.rs reported");
+        let a = text.find("crates/a.rs:3:15:").expect("a.rs reported");
+        let b = text.find("crates/b.rs:9:9:").expect("b.rs reported");
         assert!(a < b, "sorted by path");
         assert!(text.contains("deny hash-iteration (D1)"));
         assert!(text.contains("= note:"));
         assert!(render_summary(2, &vs, None).contains("2 violation(s)"));
+    }
+
+    #[test]
+    fn caret_line_points_at_the_finding() {
+        let text = render_violations(&sample());
+        // The wall-clock snippet: caret 8, len 12 → 8 spaces then ^^^.
+        let caret_line = text
+            .lines()
+            .find(|l| {
+                l.trim_start().starts_with('|') && l.contains('^') && l.contains("^^^^^^^^^^^^")
+            })
+            .expect("caret line rendered");
+        let after_bar = caret_line.split('|').nth(1).expect("gutter bar");
+        assert_eq!(after_bar, " ".repeat(9) + &"^".repeat(12), "{caret_line:?}");
+    }
+
+    #[test]
+    fn json_is_one_object_per_line_and_escaped() {
+        let mut vs = sample();
+        vs[0].message = "quote \" backslash \\ tab\t".into();
+        let text = render_json(&vs);
+        assert!(text.starts_with("[\n"));
+        assert!(text.ends_with("]\n"));
+        let object_lines: Vec<&str> = text.lines().filter(|l| l.starts_with('{')).collect();
+        assert_eq!(object_lines.len(), 2);
+        assert!(object_lines[0].ends_with("},"), "{:?}", object_lines[0]);
+        assert!(object_lines[1].ends_with('}'), "{:?}", object_lines[1]);
+        assert!(text.contains(r#""path":"crates/a.rs","line":3,"col":15"#));
+        assert!(text.contains(r#"quote \" backslash \\ tab\t"#));
+        // Sorted: a.rs first.
+        assert!(object_lines[0].contains("a.rs"));
+    }
+
+    #[test]
+    fn empty_json_is_an_empty_array() {
+        assert_eq!(render_json(&[]), "[\n]\n");
     }
 }

@@ -1,11 +1,16 @@
-//! The rule engine: determinism rules D1–D3 and safety rules S1–S2,
-//! applied to one lexed source file at a time.
+//! The rule engine: determinism rules D1–D6 and safety rules S1–S2,
+//! applied to one lexed source file at a time (D6, the cross-file
+//! snapshot-drift rule, lives in [`crate::drift`] and runs at the
+//! workspace level).
 //!
 //! | code | slug               | what it catches                                  |
 //! |------|--------------------|--------------------------------------------------|
 //! | D1   | `hash-iteration`   | iterating `HashMap`/`HashSet` state (lookups OK) |
 //! | D2   | `wall-clock`       | `Instant::now` / `SystemTime` reads              |
 //! | D3   | `entropy-rng`      | entropy-seeded RNGs (`from_entropy`, …)          |
+//! | D4   | `float-order`      | float accumulation over partition-ordered data   |
+//! | D5   | `determinism-taint`| nondeterministic values flowing into sim state   |
+//! | D6   | `snapshot-drift`   | struct fields missing from the snapshot codec    |
 //! | S1   | `unwrap-audit`     | `.unwrap()`, `.expect("")`, `panic!`             |
 //! | S2   | `cast-lossy`       | narrowing `as` casts in hot-path crates          |
 //! |      | `malformed-suppression` | broken `simlint: allow(..)` directives      |
@@ -19,6 +24,15 @@
 //! inside the simulation, and timing/ordering quirks there cannot break
 //! bit-identical parallel runs.
 //!
+//! D4 and D5 are *scope-aware*: they walk the item tree produced by
+//! [`crate::parser`] and analyze each non-test `fn` body. D5 runs a
+//! small intra-procedural taint pass — identifiers bound from
+//! wall-clock / entropy / hash-iteration / pointer-cast expressions are
+//! marked, the marks propagate through `let` bindings and assignments
+//! to a fixpoint, and a violation fires only where a tainted value
+//! reaches a simulation-state sink (event times, seeds, emitted
+//! payloads, snapshot writes).
+//!
 //! Suppression: `// simlint: allow(<slug>[, <slug>…]) -- <reason>` on
 //! the violating line or the line directly above it;
 //! `// simlint: allow-file(<slug>) -- <reason>` anywhere in the file
@@ -26,25 +40,31 @@
 //! allow without a written justification is itself a violation.
 
 use crate::config::{Config, Severity};
-use crate::lexer::{lex, str_literal_is_empty, Comment, Tok, TokKind};
+use crate::lexer::{lex, num_literal_is_float, str_literal_is_empty, Comment, Tok, TokKind};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// The lint rules. Codes D1–D3 guard determinism, S1–S2 guard safety.
+/// The lint rules. Codes D1–D6 guard determinism, S1–S2 guard safety.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     HashIteration,
     WallClock,
     EntropyRng,
+    FloatOrder,
+    DeterminismTaint,
+    SnapshotDrift,
     UnwrapAudit,
     CastLossy,
     MalformedSuppression,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 9] = [
         Rule::HashIteration,
         Rule::WallClock,
         Rule::EntropyRng,
+        Rule::FloatOrder,
+        Rule::DeterminismTaint,
+        Rule::SnapshotDrift,
         Rule::UnwrapAudit,
         Rule::CastLossy,
         Rule::MalformedSuppression,
@@ -56,6 +76,9 @@ impl Rule {
             Rule::HashIteration => "D1",
             Rule::WallClock => "D2",
             Rule::EntropyRng => "D3",
+            Rule::FloatOrder => "D4",
+            Rule::DeterminismTaint => "D5",
+            Rule::SnapshotDrift => "D6",
             Rule::UnwrapAudit => "S1",
             Rule::CastLossy => "S2",
             Rule::MalformedSuppression => "SUP",
@@ -68,6 +91,9 @@ impl Rule {
             Rule::HashIteration => "hash-iteration",
             Rule::WallClock => "wall-clock",
             Rule::EntropyRng => "entropy-rng",
+            Rule::FloatOrder => "float-order",
+            Rule::DeterminismTaint => "determinism-taint",
+            Rule::SnapshotDrift => "snapshot-drift",
             Rule::UnwrapAudit => "unwrap-audit",
             Rule::CastLossy => "cast-lossy",
             Rule::MalformedSuppression => "malformed-suppression",
@@ -92,6 +118,18 @@ impl Rule {
             Rule::EntropyRng => {
                 "entropy-seeded RNGs break replay; seed explicitly (ChaCha8Rng::seed_from_u64)"
             }
+            Rule::FloatOrder => {
+                "float addition is not associative: accumulating across partitions/workers in \
+                 arrival order gives different bits per schedule; reduce in a fixed index order"
+            }
+            Rule::DeterminismTaint => {
+                "a nondeterministic value reaches simulation state here; derive event times, \
+                 seeds, and emitted payloads from simulated state only"
+            }
+            Rule::SnapshotDrift => {
+                "field is not handled by the snapshot codec; update both the put_* and get_* \
+                 paths in crates/snapshot/src/codec.rs (and bump the container version)"
+            }
             Rule::UnwrapAudit => {
                 "use expect(\"why this cannot fail\") or propagate a MassfError instead"
             }
@@ -101,6 +139,149 @@ impl Rule {
             }
             Rule::MalformedSuppression => {
                 "write `simlint: allow(<rule>) -- <reason>` with a known rule and a reason"
+            }
+        }
+    }
+
+    /// Long-form rationale for `simlint --explain <rule>`: what the rule
+    /// detects, why it matters for bit-identical simulation, and how to
+    /// fix or justify a finding.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::HashIteration => {
+                "D1 hash-iteration\n\
+                 \n\
+                 Iterating a std HashMap/HashSet visits entries in hasher order, which\n\
+                 depends on the per-process RandomState seed — two runs of the same\n\
+                 binary see different orders. Any simulation decision derived from that\n\
+                 order (event emission, tie-breaking, aggregation) diverges between\n\
+                 runs and between partition counts, breaking the repeatability the\n\
+                 conservative executor guarantees.\n\
+                 \n\
+                 Detection: identifiers declared or initialized with a HashMap/HashSet\n\
+                 type are tracked per file; iterator-producing calls on them (.iter,\n\
+                 .keys, .values, .drain, .retain, for … in) are flagged. Point lookups\n\
+                 (get, contains_key, insert) are fine.\n\
+                 \n\
+                 Fix: iterate a BTreeMap/BTreeSet, or collect and sort before use. If\n\
+                 order provably cannot escape (e.g. counting), justify with\n\
+                 `// simlint: allow(hash-iteration) -- <why order cannot matter>`."
+            }
+            Rule::WallClock => {
+                "D2 wall-clock\n\
+                 \n\
+                 Instant::now(), SystemTime, and UNIX_EPOCH read host time. Any value\n\
+                 derived from them differs across runs and machines, so it must never\n\
+                 feed simulated state. Simulated time is virtual (SimTime) and advances\n\
+                 only through the event loop.\n\
+                 \n\
+                 Fix: use SimTime from the event being processed. Host-time measurement\n\
+                 belongs in the bench crate (exempt by scope) or behind an allow with a\n\
+                 reason explaining why the reading cannot reach simulation state."
+            }
+            Rule::EntropyRng => {
+                "D3 entropy-rng\n\
+                 \n\
+                 from_entropy, thread_rng, OsRng, and getrandom seed randomness from the\n\
+                 OS. Workload generation or tie-breaking seeded that way is different\n\
+                 every run, defeating replay and divergence debugging.\n\
+                 \n\
+                 Fix: seed explicitly from configuration (ChaCha8Rng::seed_from_u64) so\n\
+                 the whole run is a pure function of the scenario."
+            }
+            Rule::FloatOrder => {
+                "D4 float-order\n\
+                 \n\
+                 Floating-point addition is not associative: (a+b)+c != a+(b+c) in the\n\
+                 last bits. Summing values that arrive in partition, worker, thread, or\n\
+                 outbox order therefore produces schedule-dependent results even when\n\
+                 every addend is identical — the classic way 'bit-identical at any\n\
+                 thread count' silently degrades to 'close enough'.\n\
+                 \n\
+                 Detection (scope-aware, non-test fn bodies in deterministic-critical\n\
+                 crates): float accumulation — .sum::<f32|f64>(), .fold(<float init>, …)\n\
+                 (max/min folds are order-safe and skipped), or `x += / *=` on a\n\
+                 float-typed local inside a loop — where the data source names\n\
+                 partition-shaped state (partition, shard, outbox, worker, thread,\n\
+                 parallel, barrier, par_iter).\n\
+                 \n\
+                 Fix: reduce in a fixed index order (iterate 0..n over a slab), or sum\n\
+                 per-partition locally and combine the per-partition results in\n\
+                 partition-id order. Integer accumulation is always safe."
+            }
+            Rule::DeterminismTaint => {
+                "D5 determinism-taint\n\
+                 \n\
+                 D1–D3 flag nondeterministic *reads* at the site of the read. D5 tracks\n\
+                 the value afterwards: within each fn body, identifiers bound from\n\
+                 wall-clock / entropy / hash-iteration / pointer-address expressions\n\
+                 are tainted, taint propagates through let bindings and (compound)\n\
+                 assignments to a fixpoint, and a violation fires only where a tainted\n\
+                 value reaches a simulation-state sink: SimTime constructors (from_ns,\n\
+                 from_ms_f64, …), RNG seeding (seed_from_u64, from_seed), event\n\
+                 emission (emit, schedule, send_datagram, start_flow), snapshot writes\n\
+                 (put_u64, …), or assignment into .time / .seed fields.\n\
+                 \n\
+                 This catches laundered nondeterminism: `let t = queue_ptr as usize;\n\
+                 … emit(SimTime::from_ns(t as u64), …)` fires at the emit, naming the\n\
+                 original source line.\n\
+                 \n\
+                 Fix: derive the value from simulated state; if the flow is provably\n\
+                 benign (e.g. logging only), justify with\n\
+                 `// simlint: allow(determinism-taint) -- <why>` at the sink."
+            }
+            Rule::SnapshotDrift => {
+                "D6 snapshot-drift\n\
+                 \n\
+                 The snapshot container (crates/snapshot) round-trips world state\n\
+                 through a hand-written codec. Adding a field to a serialized struct\n\
+                 without touching the codec compiles cleanly and round-trips silently —\n\
+                 the field is simply dropped on restore, and restore-equals-\n\
+                 straight-through dies long after the commit that caused it.\n\
+                 \n\
+                 Detection (cross-file): the struct definition of every type the codec\n\
+                 serializes (configured under [rule.snapshot-drift], discovered from\n\
+                 put_*/get_* signatures in the codec file) is parsed, and each field\n\
+                 must be mentioned in BOTH the encode and decode paths of the codec.\n\
+                 A field missing from either side is reported at its declaration.\n\
+                 \n\
+                 Fix: extend the matching put_* and get_* functions (and the container\n\
+                 version if the layout changed). Fields that are deliberately not\n\
+                 serialized (caches, scratch space) get an allow on the field line:\n\
+                 `// simlint: allow(snapshot-drift) -- rebuilt on restore`."
+            }
+            Rule::UnwrapAudit => {
+                "S1 unwrap-audit\n\
+                 \n\
+                 .unwrap() and .expect(\"\") panic without telling the operator what\n\
+                 invariant broke. In a long-running simulation serving live queries, an\n\
+                 unexplained panic is an outage with no diagnosis.\n\
+                 \n\
+                 Fix: expect(\"<why this cannot fail>\") for true invariants; propagate\n\
+                 a structured MassfError otherwise."
+            }
+            Rule::CastLossy => {
+                "S2 cast-lossy\n\
+                 \n\
+                 `as` casts to narrower types (u32, u16, i32, f32, …) silently truncate\n\
+                 or round. In hot-path crates where indices legitimately exceed u32 at\n\
+                 the million-host scale, a silent wrap corrupts state instead of\n\
+                 failing.\n\
+                 \n\
+                 Fix: use try_into with an expect naming the bound, or justify the cast\n\
+                 with an allow comment stating why the value fits."
+            }
+            Rule::MalformedSuppression => {
+                "SUP malformed-suppression\n\
+                 \n\
+                 Suppressions are part of the audit trail: every allow must name a\n\
+                 known rule and carry a `-- <reason>` justification. A directive that\n\
+                 parses wrong would otherwise silently suppress nothing (or the wrong\n\
+                 thing), so broken directives are themselves findings.\n\
+                 \n\
+                 Grammar: `// simlint: allow(<slug>[, <slug>…]) -- <reason>` on the\n\
+                 violating line or the line above; `// simlint: allow-file(<slug>) --\n\
+                 <reason>` anywhere for file-wide exemptions."
             }
         }
     }
@@ -114,10 +295,56 @@ pub struct Violation {
     pub path: String,
     /// 1-based line.
     pub line: u32,
+    /// 1-based column in the original (untrimmed) line.
+    pub col: u32,
+    /// 0-based caret offset within `snippet` (leading whitespace of the
+    /// original line already subtracted).
+    pub caret: u32,
+    /// Underline length in characters, ≥ 1.
+    pub len: u32,
     /// The trimmed source line (baseline matching key).
     pub snippet: String,
     pub message: String,
     pub severity: Severity,
+}
+
+impl Violation {
+    /// Build a violation with the caret fields derived from `col`, the
+    /// underlined token `len`, and the original source line.
+    #[allow(clippy::too_many_arguments)] // positional mirror of the report columns
+    pub fn at(
+        rule: Rule,
+        path: &str,
+        line: u32,
+        col: u32,
+        len: u32,
+        raw_line: &str,
+        message: String,
+        severity: Severity,
+    ) -> Violation {
+        let snippet = raw_line.trim().replace('\t', " ");
+        let lead = (raw_line.len() - raw_line.trim_start().len()) as u32;
+        let caret = col
+            .saturating_sub(1)
+            .saturating_sub(lead)
+            .min(snippet.chars().count() as u32);
+        let len = len.max(1).min(
+            (snippet.chars().count() as u32)
+                .saturating_sub(caret)
+                .max(1),
+        );
+        Violation {
+            rule,
+            path: path.to_string(),
+            line,
+            col,
+            caret,
+            len,
+            snippet,
+            message,
+            severity,
+        }
+    }
 }
 
 /// Iterator-producing methods that make D1 fire when called on a
@@ -150,37 +377,34 @@ const NARROW_TYPES: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
 pub fn scan_source(path: &str, krate: &str, src: &str, cfg: &Config) -> Vec<Violation> {
     let (toks, comments) = lex(src);
     let lines: Vec<&str> = src.lines().collect();
-    let snippet = |line: u32| -> String {
-        lines
-            .get(line as usize - 1)
-            .map(|l| l.trim().replace('\t', " "))
-            .unwrap_or_default()
-    };
 
     let in_test = test_regions(&toks);
     let sup = parse_suppressions(&comments);
     let hash_idents = collect_hash_idents(&toks);
 
     let mut out: Vec<Violation> = Vec::new();
-    let mut push = |rule: Rule, line: u32, message: String| {
+    let mut push = |rule: Rule, line: u32, col: u32, len: u32, message: String| {
         if !cfg.applies(rule, krate) {
             return;
         }
         if rule != Rule::MalformedSuppression && sup.allows(rule, line) {
             return;
         }
-        out.push(Violation {
+        let raw = lines.get(line as usize - 1).copied().unwrap_or("");
+        out.push(Violation::at(
             rule,
-            path: path.to_string(),
+            path,
             line,
-            snippet: snippet(line),
+            col,
+            len,
+            raw,
             message,
-            severity: cfg.rule(rule).severity,
-        });
+            cfg.rule(rule).severity,
+        ));
     };
 
     for (line, why) in &sup.malformed {
-        push(Rule::MalformedSuppression, *line, why.clone());
+        push(Rule::MalformedSuppression, *line, 1, u32::MAX, why.clone());
     }
 
     for i in 0..toks.len() {
@@ -202,6 +426,8 @@ pub fn scan_source(path: &str, krate: &str, src: &str, cfg: &Config) -> Vec<Viol
                     push(
                         Rule::HashIteration,
                         toks[i + 2].line,
+                        toks[i + 2].col,
+                        toks[i + 2].text.len() as u32,
                         format!("`{}.{m}()` iterates an unordered collection", t.text),
                     );
                 }
@@ -234,6 +460,8 @@ pub fn scan_source(path: &str, krate: &str, src: &str, cfg: &Config) -> Vec<Viol
                         push(
                             Rule::HashIteration,
                             toks[j + 2].line,
+                            toks[j + 2].col,
+                            toks[j + 2].text.len() as u32,
                             format!("`{}[…].{m}()` iterates an unordered collection", t.text),
                         );
                     }
@@ -242,11 +470,13 @@ pub fn scan_source(path: &str, krate: &str, src: &str, cfg: &Config) -> Vec<Viol
         }
         // D1: `for pat in [&[mut]] <hash> {`.
         if t.kind == TokKind::Ident && t.text == "for" {
-            if let Some((name, line)) = for_loop_over_ident(&toks, i) {
+            if let Some((name, line, col)) = for_loop_over_ident(&toks, i) {
                 if hash_idents.contains(name.as_str()) {
                     push(
                         Rule::HashIteration,
                         line,
+                        col,
+                        name.len() as u32,
                         format!("`for … in {name}` iterates an unordered collection"),
                     );
                 }
@@ -262,6 +492,8 @@ pub fn scan_source(path: &str, krate: &str, src: &str, cfg: &Config) -> Vec<Viol
                 push(
                     Rule::WallClock,
                     t.line,
+                    t.col,
+                    "Instant::now".len() as u32,
                     "`Instant::now()` wall-clock read".to_string(),
                 );
             }
@@ -269,6 +501,8 @@ pub fn scan_source(path: &str, krate: &str, src: &str, cfg: &Config) -> Vec<Viol
                 push(
                     Rule::WallClock,
                     t.line,
+                    t.col,
+                    t.text.len() as u32,
                     format!("`{}` wall-clock read", t.text),
                 );
             }
@@ -278,6 +512,8 @@ pub fn scan_source(path: &str, krate: &str, src: &str, cfg: &Config) -> Vec<Viol
             push(
                 Rule::EntropyRng,
                 t.line,
+                t.col,
+                t.text.len() as u32,
                 format!("`{}` draws seed material from OS entropy", t.text),
             );
         }
@@ -287,6 +523,8 @@ pub fn scan_source(path: &str, krate: &str, src: &str, cfg: &Config) -> Vec<Viol
                 push(
                     Rule::UnwrapAudit,
                     toks[i + 1].line,
+                    toks[i + 1].col,
+                    "unwrap".len() as u32,
                     "`.unwrap()` panics without a message".to_string(),
                 );
             }
@@ -299,6 +537,8 @@ pub fn scan_source(path: &str, krate: &str, src: &str, cfg: &Config) -> Vec<Viol
                 push(
                     Rule::UnwrapAudit,
                     toks[i + 1].line,
+                    toks[i + 1].col,
+                    "expect".len() as u32,
                     "`.expect(\"\")` carries no justification".to_string(),
                 );
             }
@@ -307,6 +547,8 @@ pub fn scan_source(path: &str, krate: &str, src: &str, cfg: &Config) -> Vec<Viol
             push(
                 Rule::UnwrapAudit,
                 t.line,
+                t.col,
+                "panic!".len() as u32,
                 "`panic!` in non-test code".to_string(),
             );
         }
@@ -314,14 +556,35 @@ pub fn scan_source(path: &str, krate: &str, src: &str, cfg: &Config) -> Vec<Viol
         if t.kind == TokKind::Ident && t.text == "as" {
             if let Some(target) = ident(i + 1) {
                 if NARROW_TYPES.contains(&target) {
+                    let tgt = &toks[i + 1];
+                    let len = if tgt.line == t.line {
+                        tgt.col + tgt.text.len() as u32 - t.col
+                    } else {
+                        2
+                    };
                     push(
                         Rule::CastLossy,
                         t.line,
+                        t.col,
+                        len,
                         format!("narrowing cast `as {target}`"),
                     );
                 }
             }
         }
+    }
+
+    // D4 / D5: scope-aware passes over each non-test fn body.
+    let items = crate::parser::parse(&toks);
+    for item in crate::parser::flatten(&items) {
+        if item.kind != crate::parser::ItemKind::Fn || item.is_test {
+            continue;
+        }
+        let Some((open, close)) = item.body else {
+            continue;
+        };
+        scan_float_order(&toks, open, close + 1, &mut push);
+        scan_taint(&toks, open, close + 1, &hash_idents, &mut push);
     }
 
     out.retain(|v| v.severity != Severity::Off);
@@ -330,10 +593,565 @@ pub fn scan_source(path: &str, krate: &str, src: &str, cfg: &Config) -> Vec<Viol
     out
 }
 
+/// Identifier fragments that mark data as partition-shaped: values
+/// keyed or produced per partition/worker/thread, whose arrival order
+/// is a function of the parallel schedule.
+const PARTITION_HINTS: [&str; 10] = [
+    "partition",
+    "shard",
+    "outbox",
+    "worker",
+    "thread",
+    "parallel",
+    "barrier",
+    "par_iter",
+    "par_chunks",
+    "rayon",
+];
+
+fn is_partition_hint(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    PARTITION_HINTS.iter().any(|h| lower.contains(h))
+}
+
+/// Walk backwards from token `i` to the start of the receiver chain
+/// (statement boundary) and return the first partition-hinted
+/// identifier found, if any.
+fn chain_hint_before(toks: &[Tok], mut i: usize, lo: usize) -> Option<String> {
+    let mut steps = 0;
+    while i > lo {
+        i -= 1;
+        let t = &toks[i];
+        if t.text == ";"
+            || t.text == "{"
+            || t.text == "}"
+            || (t.kind == TokKind::Ident && (t.text == "let" || t.text == "for" || t.text == "in"))
+        {
+            return None;
+        }
+        if t.kind == TokKind::Ident && is_partition_hint(&t.text) {
+            return Some(t.text.clone());
+        }
+        steps += 1;
+        if steps > 48 {
+            return None;
+        }
+    }
+    None
+}
+
+/// Index just past the `)` matching the `(` at `open` (or `hi`).
+fn match_paren(toks: &[Tok], open: usize, hi: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < hi {
+        match toks[j].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    hi
+}
+
+/// Index just past the `}` matching the `{` at `open` (or `hi`).
+fn match_brace_tok(toks: &[Tok], open: usize, hi: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < hi {
+        match toks[j].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    hi
+}
+
+/// Float-typed locals of a fn body: `let [mut] x: f32/f64 …` or
+/// `let [mut] x = <float literal>…`.
+fn collect_float_locals(toks: &[Tok], lo: usize, hi: usize) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
+    let mut i = lo;
+    while i < hi {
+        if !(toks[i].kind == TokKind::Ident && toks[i].text == "let") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.text == "mut") {
+            j += 1;
+        }
+        let Some(name) = toks.get(j).filter(|t| t.kind == TokKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        let name = name.text.clone();
+        let mut k = j + 1;
+        let mut is_float = false;
+        if toks.get(k).is_some_and(|t| t.text == ":") {
+            // Type annotation up to `=` or `;`.
+            while k < hi && toks[k].text != "=" && toks[k].text != ";" {
+                if toks[k].kind == TokKind::Ident
+                    && (toks[k].text == "f32" || toks[k].text == "f64")
+                {
+                    is_float = true;
+                }
+                k += 1;
+            }
+        }
+        if !is_float && toks.get(k).is_some_and(|t| t.text == "=") {
+            // First few initializer tokens: a float literal or an
+            // explicit f32/f64 path (`f64::NEG_INFINITY`, `0.0f64`).
+            for t in toks.iter().take((k + 6).min(hi)).skip(k + 1) {
+                if (t.kind == TokKind::Num && num_literal_is_float(&t.text))
+                    || (t.kind == TokKind::Ident && (t.text == "f32" || t.text == "f64"))
+                {
+                    is_float = true;
+                    break;
+                }
+                if t.text == ";" {
+                    break;
+                }
+            }
+        }
+        if is_float {
+            set.insert(name);
+        }
+        i = j + 1;
+    }
+    set
+}
+
+/// D4 float-order: float accumulation whose input order depends on the
+/// parallel schedule. Scans one fn body `[lo, hi)`.
+fn scan_float_order(
+    toks: &[Tok],
+    lo: usize,
+    hi: usize,
+    push: &mut impl FnMut(Rule, u32, u32, u32, String),
+) {
+    let float_locals = collect_float_locals(toks, lo, hi);
+    let ident = |j: usize| -> Option<&str> {
+        toks.get(j)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+    };
+    for i in lo..hi {
+        let t = &toks[i];
+        // (a) `.sum::<f32|f64>()` on a partition-hinted chain.
+        if t.text == "."
+            && ident(i + 1) == Some("sum")
+            && toks.get(i + 2).is_some_and(|t| t.text == ":")
+            && toks.get(i + 3).is_some_and(|t| t.text == ":")
+            && toks.get(i + 4).is_some_and(|t| t.text == "<")
+        {
+            if let Some(fty) = ident(i + 5).filter(|f| *f == "f32" || *f == "f64") {
+                if let Some(hint) = chain_hint_before(toks, i, lo) {
+                    let s = &toks[i + 1];
+                    push(
+                        Rule::FloatOrder,
+                        s.line,
+                        s.col,
+                        3,
+                        format!(
+                            "`.sum::<{fty}>()` over partition-ordered data (`{hint}`): \
+                             float accumulation order depends on the schedule"
+                        ),
+                    );
+                }
+            }
+        }
+        // (b) `.fold(<float init>, op)` on a hinted chain, unless the op
+        // is an order-safe max/min reduction.
+        if t.text == "."
+            && ident(i + 1) == Some("fold")
+            && toks.get(i + 2).is_some_and(|t| t.text == "(")
+        {
+            let end = match_paren(toks, i + 2, hi);
+            // First argument: up to the top-level comma.
+            let mut depth = 0i32;
+            let mut comma = end;
+            for (j, a) in toks.iter().enumerate().take(end).skip(i + 3) {
+                match a.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "," if depth == 0 => {
+                        comma = j;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            let init_is_float = toks[i + 3..comma.min(hi)].iter().any(|a| {
+                (a.kind == TokKind::Num && num_literal_is_float(&a.text))
+                    || (a.kind == TokKind::Ident && (a.text == "f32" || a.text == "f64"))
+            });
+            let op_is_order_safe = toks[comma.min(hi)..end].iter().any(|a| {
+                a.kind == TokKind::Ident
+                    && (a.text == "max"
+                        || a.text == "min"
+                        || a.text == "maximum"
+                        || a.text == "minimum")
+            });
+            if init_is_float && !op_is_order_safe {
+                if let Some(hint) = chain_hint_before(toks, i, lo) {
+                    let s = &toks[i + 1];
+                    push(
+                        Rule::FloatOrder,
+                        s.line,
+                        s.col,
+                        4,
+                        format!(
+                            "float `.fold(…)` over partition-ordered data (`{hint}`): \
+                             accumulation order depends on the schedule"
+                        ),
+                    );
+                }
+            }
+        }
+        // (c) `x += …` / `x *= …` on a float local inside a loop whose
+        // source is partition-hinted.
+        if t.kind == TokKind::Ident && t.text == "for" {
+            let Some(body_open) = (i..hi).find(|&j| toks[j].text == "{") else {
+                continue;
+            };
+            // Hint search in the loop-source expression (after `in`).
+            let in_pos =
+                (i..body_open).find(|&j| toks[j].kind == TokKind::Ident && toks[j].text == "in");
+            let Some(in_pos) = in_pos else { continue };
+            // `for i in 0..n` iterates in index order regardless of what
+            // `n` is named — ranges are never schedule-ordered.
+            let is_range = (in_pos + 1..body_open.saturating_sub(1))
+                .any(|j| toks[j].text == "." && toks[j + 1].text == ".");
+            if is_range {
+                continue;
+            }
+            let hint = toks[in_pos + 1..body_open]
+                .iter()
+                .find(|a| a.kind == TokKind::Ident && is_partition_hint(&a.text))
+                .map(|a| a.text.clone());
+            let Some(hint) = hint else { continue };
+            let body_end = match_brace_tok(toks, body_open, hi);
+            for j in body_open..body_end.saturating_sub(2) {
+                let a = &toks[j];
+                if a.kind == TokKind::Ident
+                    && float_locals.contains(a.text.as_str())
+                    && (toks[j + 1].text == "+" || toks[j + 1].text == "*")
+                    && toks[j + 2].text == "="
+                {
+                    let op = if toks[j + 1].text == "+" { "+=" } else { "*=" };
+                    push(
+                        Rule::FloatOrder,
+                        a.line,
+                        a.col,
+                        a.text.len() as u32,
+                        format!(
+                            "float `{} {op} …` accumulates in `{hint}` iteration order: \
+                             result depends on the parallel schedule",
+                            a.text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Nondeterminism sources D5 tracks by bare identifier.
+const TAINT_SOURCE_IDENTS: [(&str, &str); 8] = [
+    ("SystemTime", "wall clock"),
+    ("UNIX_EPOCH", "wall clock"),
+    ("elapsed", "wall clock"),
+    ("from_entropy", "OS entropy"),
+    ("thread_rng", "OS entropy"),
+    ("OsRng", "OS entropy"),
+    ("getrandom", "OS entropy"),
+    ("addr_of", "pointer address"),
+];
+
+/// Simulation-state sinks: a tainted value passed to one of these calls
+/// (or assigned into a `.time` / `.seed` field) is a violation.
+const TAINT_SINK_FNS: [&str; 19] = [
+    "from_ns",
+    "from_us",
+    "from_ms",
+    "from_secs",
+    "from_ms_f64",
+    "from_secs_f64",
+    "seed_from_u64",
+    "from_seed",
+    "emit",
+    "emit_to",
+    "schedule",
+    "schedule_at",
+    "send_datagram",
+    "start_flow",
+    "put_u8",
+    "put_u16",
+    "put_u32",
+    "put_u64",
+    "put_f64",
+];
+
+const TAINT_SINK_FIELDS: [&str; 2] = ["time", "seed"];
+
+/// A nondeterminism source found in `[lo, hi)`:
+/// `(description, line, col)`.
+fn find_taint_source(
+    toks: &[Tok],
+    lo: usize,
+    hi: usize,
+    hash_idents: &BTreeSet<String>,
+    tainted: &BTreeMap<String, (String, u32)>,
+) -> Option<(String, u32)> {
+    for j in lo..hi.min(toks.len()) {
+        let t = &toks[j];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if let Some((_, what)) = TAINT_SOURCE_IDENTS.iter().find(|(n, _)| *n == t.text) {
+            return Some((format!("`{}` ({what})", t.text), t.line));
+        }
+        if t.text == "Instant"
+            && toks.get(j + 1).is_some_and(|a| a.text == ":")
+            && toks.get(j + 2).is_some_and(|a| a.text == ":")
+            && toks.get(j + 3).is_some_and(|a| a.text == "now")
+        {
+            return Some(("`Instant::now()` (wall clock)".to_string(), t.line));
+        }
+        if t.text == "as_ptr" || (t.text == "as" && toks.get(j + 1).is_some_and(|a| a.text == "*"))
+        {
+            return Some(("pointer address".to_string(), t.line));
+        }
+        if hash_idents.contains(t.text.as_str())
+            && toks.get(j + 1).is_some_and(|a| a.text == ".")
+            && toks
+                .get(j + 2)
+                .is_some_and(|a| ITER_METHODS.contains(&a.text.as_str()))
+        {
+            return Some((format!("`{}` iteration (hash order)", t.text), t.line));
+        }
+        if let Some((desc, line)) = tainted.get(t.text.as_str()) {
+            return Some((desc.clone(), *line));
+        }
+    }
+    None
+}
+
+/// D5 determinism-taint: intra-procedural dataflow over one fn body
+/// `[lo, hi)`. Tainted identifiers map to `(source description, source
+/// line)` so the violation at the sink can name the origin.
+fn scan_taint(
+    toks: &[Tok],
+    lo: usize,
+    hi: usize,
+    hash_idents: &BTreeSet<String>,
+    push: &mut impl FnMut(Rule, u32, u32, u32, String),
+) {
+    // Collect assignment records once: (target ident, rhs range).
+    struct Assign {
+        name: String,
+        rhs: (usize, usize),
+    }
+    let mut assigns: Vec<Assign> = Vec::new();
+    let mut tainted: BTreeMap<String, (String, u32)> = BTreeMap::new();
+
+    let rhs_end = |start: usize| -> usize {
+        let mut depth = 0i32;
+        let mut j = start;
+        while j < hi {
+            match toks[j].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        return j;
+                    }
+                    depth -= 1;
+                }
+                ";" if depth == 0 => return j,
+                _ => {}
+            }
+            j += 1;
+        }
+        hi
+    };
+
+    let mut i = lo;
+    while i < hi {
+        let t = &toks[i];
+        // `let [mut] name [: ty] = rhs ;`
+        if t.kind == TokKind::Ident && t.text == "let" {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|a| a.text == "mut") {
+                j += 1;
+            }
+            if let Some(name) = toks.get(j).filter(|a| a.kind == TokKind::Ident) {
+                let name = name.text.clone();
+                let mut k = j + 1;
+                while k < hi && toks[k].text != "=" && toks[k].text != ";" {
+                    k += 1;
+                }
+                if k < hi && toks[k].text == "=" {
+                    assigns.push(Assign {
+                        name,
+                        rhs: (k + 1, rhs_end(k + 1)),
+                    });
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // `name = rhs` / `name += rhs` (not `==`, not `.field =`).
+        if t.kind == TokKind::Ident
+            && (i == lo || (toks[i - 1].text != "." && toks[i - 1].text != ":"))
+        {
+            let eq_at = if toks.get(i + 1).is_some_and(|a| a.text == "=") {
+                i + 1
+            } else if toks
+                .get(i + 1)
+                .is_some_and(|a| matches!(a.text.as_str(), "+" | "-" | "*" | "/" | "%" | "^" | "|"))
+                && toks.get(i + 2).is_some_and(|a| a.text == "=")
+            {
+                i + 2
+            } else {
+                0
+            };
+            // Exclude `==` and `=>` (match arms).
+            if eq_at != 0
+                && toks
+                    .get(eq_at + 1)
+                    .is_none_or(|a| a.text != "=" && a.text != ">")
+            {
+                assigns.push(Assign {
+                    name: t.text.clone(),
+                    rhs: (eq_at + 1, rhs_end(eq_at + 1)),
+                });
+            }
+        }
+        // `for pat in <source>` where source involves a hash collection:
+        // the pattern bindings inherit hash-order taint.
+        if t.kind == TokKind::Ident && t.text == "for" {
+            if let Some(body_open) = (i..hi.min(i + 40)).find(|&j| toks[j].text == "{") {
+                if let Some(in_pos) =
+                    (i..body_open).find(|&j| toks[j].kind == TokKind::Ident && toks[j].text == "in")
+                {
+                    let src_has_hash = toks[in_pos + 1..body_open].iter().find(|a| {
+                        a.kind == TokKind::Ident && hash_idents.contains(a.text.as_str())
+                    });
+                    if let Some(h) = src_has_hash {
+                        let desc = format!("`{}` iteration (hash order)", h.text);
+                        for p in &toks[i + 1..in_pos] {
+                            if p.kind == TokKind::Ident && p.text != "mut" && p.text != "ref" {
+                                tainted
+                                    .entry(p.text.clone())
+                                    .or_insert_with(|| (desc.clone(), t.line));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Propagate to a fixpoint (bounded: each pass can only add names).
+    for _ in 0..8 {
+        let mut changed = false;
+        for a in &assigns {
+            if tainted.contains_key(&a.name) {
+                continue;
+            }
+            if let Some(src) = find_taint_source(toks, a.rhs.0, a.rhs.1, hash_idents, &tainted) {
+                tainted.insert(a.name.clone(), src);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Sinks: calls with a tainted (or directly nondeterministic)
+    // argument, and assignments into `.time` / `.seed` fields.
+    for j in lo..hi {
+        let t = &toks[j];
+        if t.kind == TokKind::Ident
+            && TAINT_SINK_FNS.contains(&t.text.as_str())
+            && toks.get(j + 1).is_some_and(|a| a.text == "(")
+            && toks.get(j.wrapping_sub(1)).is_none_or(|a| a.text != "fn")
+        {
+            let end = match_paren(toks, j + 1, hi);
+            if let Some((desc, line)) =
+                find_taint_source(toks, j + 2, end.saturating_sub(1), hash_idents, &tainted)
+            {
+                push(
+                    Rule::DeterminismTaint,
+                    t.line,
+                    t.col,
+                    t.text.len() as u32,
+                    format!(
+                        "nondeterministic value from {desc} at line {line} flows into `{}(…)`",
+                        t.text
+                    ),
+                );
+            }
+        }
+        if t.text == "."
+            && toks.get(j + 1).is_some_and(|a| {
+                a.kind == TokKind::Ident && TAINT_SINK_FIELDS.contains(&a.text.as_str())
+            })
+            && toks.get(j + 2).is_some_and(|a| a.text == "=")
+            && toks.get(j + 3).is_none_or(|a| a.text != "=")
+        {
+            let f = &toks[j + 1];
+            let mut k = j + 3;
+            let mut depth = 0i32;
+            let end = loop {
+                if k >= hi {
+                    break hi;
+                }
+                match toks[k].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth <= 0 => break k,
+                    _ => {}
+                }
+                k += 1;
+            };
+            if let Some((desc, line)) = find_taint_source(toks, j + 3, end, hash_idents, &tainted) {
+                push(
+                    Rule::DeterminismTaint,
+                    f.line,
+                    f.col,
+                    f.text.len() as u32,
+                    format!(
+                        "nondeterministic value from {desc} at line {line} assigned into `.{}`",
+                        f.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
 /// For a `for` keyword at token `i`, return the loop source if it is a
 /// bare identifier (optionally `&`/`&mut`-prefixed): the tokens between
-/// `in` and the loop body `{`.
-fn for_loop_over_ident(toks: &[Tok], i: usize) -> Option<(String, u32)> {
+/// `in` and the loop body `{`. Returns `(name, line, col)` of the final
+/// path segment naming the collection.
+fn for_loop_over_ident(toks: &[Tok], i: usize) -> Option<(String, u32, u32)> {
     // Find `in` before the body opens; the pattern cannot contain `in`.
     let mut j = i + 1;
     let mut guard = 0;
@@ -376,7 +1194,7 @@ fn for_loop_over_ident(toks: &[Tok], i: usize) -> Option<(String, u32)> {
         expect_ident = !expect_ident;
     }
     match names.last() {
-        Some(last) if !expect_ident => Some((last.text.clone(), expr[0].line)),
+        Some(last) if !expect_ident => Some((last.text.clone(), last.line, last.col)),
         _ => None,
     }
 }
@@ -525,7 +1343,7 @@ fn collect_hash_idents(toks: &[Tok]) -> BTreeSet<String> {
 }
 
 /// Parsed suppression directives of one file.
-struct Suppressions {
+pub(crate) struct Suppressions {
     /// Line → rules allowed on that line and the next.
     site: BTreeMap<u32, Vec<Rule>>,
     /// File-wide allows.
@@ -535,7 +1353,7 @@ struct Suppressions {
 }
 
 impl Suppressions {
-    fn allows(&self, rule: Rule, line: u32) -> bool {
+    pub(crate) fn allows(&self, rule: Rule, line: u32) -> bool {
         if self.file.contains(&rule) {
             return true;
         }
@@ -544,7 +1362,7 @@ impl Suppressions {
     }
 }
 
-fn parse_suppressions(comments: &[Comment]) -> Suppressions {
+pub(crate) fn parse_suppressions(comments: &[Comment]) -> Suppressions {
     let mut sup = Suppressions {
         site: BTreeMap::new(),
         file: Vec::new(),
@@ -874,6 +1692,195 @@ mod tests {
             vec![Rule::HashIteration, Rule::CastLossy],
             "{found:?}"
         );
+    }
+
+    #[test]
+    fn d4_sum_over_partition_data_fires_index_order_does_not() {
+        let hinted = r#"
+            fn total(per_partition: &[f64]) -> f64 {
+                per_partition.iter().sum::<f64>()
+            }
+        "#;
+        assert_eq!(rules_found("engine", hinted), vec![Rule::FloatOrder]);
+        // Same shape, unhinted source: a plain Vec summed in index
+        // order is deterministic.
+        let plain = r#"
+            fn total(weights: &[f64]) -> f64 {
+                weights.iter().sum::<f64>()
+            }
+        "#;
+        assert_eq!(rules_found("engine", plain), vec![]);
+        // Integer sums are always safe.
+        let ints = r#"
+            fn total(per_partition: &[u64]) -> u64 {
+                per_partition.iter().sum::<u64>()
+            }
+        "#;
+        assert_eq!(rules_found("engine", ints), vec![]);
+        // Out-of-scope crate.
+        assert_eq!(rules_found("workloads", hinted), vec![]);
+    }
+
+    #[test]
+    fn d4_fold_fires_unless_order_safe_max_min() {
+        let adding = r#"
+            fn total(shard_sums: &[f64]) -> f64 {
+                shard_sums.iter().fold(0.0f64, |a, b| a + b)
+            }
+        "#;
+        assert_eq!(rules_found("partition", adding), vec![Rule::FloatOrder]);
+        // max/min folds are order-independent reductions: the exact
+        // shape used by core/hier.rs and topology/brite.rs.
+        let maxing = r#"
+            fn peak(worker_peaks: &[f64]) -> f64 {
+                worker_peaks.iter().fold(f64::NEG_INFINITY, f64::max)
+            }
+        "#;
+        assert_eq!(rules_found("partition", maxing), vec![]);
+    }
+
+    #[test]
+    fn d4_float_accumulator_in_hinted_loop() {
+        let src = r#"
+            fn load(outboxes: &[Outbox]) -> f64 {
+                let mut total = 0.0;
+                for ob in outboxes.iter() {
+                    total += ob.bytes as f64;
+                }
+                total
+            }
+        "#;
+        let v = scan("parutil", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::FloatOrder);
+        assert_eq!(v[0].line, 5);
+        // Integer accumulator in the same loop: fine.
+        let ints = r#"
+            fn load(outboxes: &[Outbox]) -> u64 {
+                let mut total = 0u64;
+                for ob in outboxes.iter() {
+                    total += ob.bytes;
+                }
+                total
+            }
+        "#;
+        assert_eq!(rules_found("parutil", ints), vec![]);
+        // Float accumulator over an unhinted source: fine (index order).
+        let plain = r#"
+            fn load(links: &[Link]) -> f64 {
+                let mut total = 0.0;
+                for l in links.iter() {
+                    total += l.bytes as f64;
+                }
+                total
+            }
+        "#;
+        assert_eq!(rules_found("parutil", plain), vec![]);
+    }
+
+    #[test]
+    fn d4_exempt_in_tests_and_suppressible() {
+        let test_fn = r#"
+            #[test]
+            fn t() {
+                let per_partition = vec![1.0f64];
+                let _ = per_partition.iter().sum::<f64>();
+            }
+        "#;
+        assert_eq!(rules_found("engine", test_fn), vec![]);
+        let allowed = r#"
+            fn total(per_partition: &[f64]) -> f64 {
+                // simlint: allow(float-order) -- summed after a barrier in partition-id order
+                per_partition.iter().sum::<f64>()
+            }
+        "#;
+        assert_eq!(rules_found("engine", allowed), vec![]);
+    }
+
+    #[test]
+    fn d5_taint_flows_through_bindings_into_sinks() {
+        let src = r#"
+            fn f(engine: &mut Engine) {
+                let stamp = queue.as_ptr() as usize;
+                let delay = stamp as u64;
+                engine.emit(SimTime::from_ns(delay), LpId(0), ());
+            }
+        "#;
+        let v = scan("engine", src);
+        // Fires at both the SimTime constructor and the emit call.
+        assert!(!v.is_empty(), "{v:?}");
+        assert!(v.iter().all(|x| x.rule == Rule::DeterminismTaint));
+        assert!(
+            v.iter().any(|x| x.message.contains("line 3")),
+            "names the source line: {v:?}"
+        );
+    }
+
+    #[test]
+    fn d5_clean_flow_is_silent() {
+        let src = r#"
+            fn f(engine: &mut Engine, now: SimTime) {
+                let delay = now.as_ns() + 5;
+                engine.emit(SimTime::from_ns(delay), LpId(0), ());
+            }
+        "#;
+        assert_eq!(rules_found("engine", src), vec![]);
+    }
+
+    #[test]
+    fn d5_hash_iteration_taints_loop_bindings() {
+        let src = r#"
+            fn f(engine: &mut Engine, pending: &std::collections::HashMap<u64, Ev>) {
+                for (flow, ev) in pending.iter() {
+                    engine.emit(ev.delay, LpId(flow), ());
+                }
+            }
+        "#;
+        let found = rules_found("engine", src);
+        assert!(found.contains(&Rule::DeterminismTaint), "{found:?}");
+    }
+
+    #[test]
+    fn d5_field_sink_and_seed_sink() {
+        let time_field = r#"
+            fn f(ev: &mut Event) {
+                let t = clock.elapsed();
+                ev.time = t;
+            }
+        "#;
+        let found = rules_found("engine", time_field);
+        assert!(found.contains(&Rule::DeterminismTaint), "{found:?}");
+        let seed = r#"
+            fn f() -> ChaCha8Rng {
+                let s = std::ptr::addr_of!(BUF) as usize;
+                ChaCha8Rng::seed_from_u64(s as u64)
+            }
+        "#;
+        let found = rules_found("workloads", seed);
+        assert!(found.contains(&Rule::DeterminismTaint), "{found:?}");
+    }
+
+    #[test]
+    fn d5_bench_is_exempt_and_comparisons_do_not_assign() {
+        let src = r#"
+            fn f(engine: &mut Engine) {
+                let t = Instant::now().elapsed();
+                engine.emit(SimTime::from_ns(t), LpId(0), ());
+            }
+        "#;
+        assert_eq!(rules_found("bench", src), vec![]);
+        // `==` and `=>` must not be parsed as assignments: `delay` would
+        // otherwise be tainted by comparison against a tainted value.
+        let cmp = r#"
+            fn f(engine: &mut Engine, delay: u64) {
+                let t = wall.elapsed();
+                if delay == t { return; }
+                match delay { 0 => {} _ => {} }
+                engine.emit(SimTime::from_ns(delay), LpId(0), ());
+            }
+        "#;
+        let found = rules_found("engine", cmp);
+        assert_eq!(found, vec![], "{found:?}");
     }
 
     #[test]

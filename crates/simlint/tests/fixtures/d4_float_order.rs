@@ -1,0 +1,45 @@
+//! D4 fixture: float accumulation over partition-ordered data.
+//! Expected: three float-order violations (lines marked).
+
+pub fn sum_turbofish(per_partition: &[f64]) -> f64 {
+    per_partition.iter().sum::<f64>() // line 5: .sum::<f64> over hinted data
+}
+
+pub fn fold_add(shard_totals: &[f64]) -> f64 {
+    shard_totals.iter().fold(0.0f64, |a, b| a + b) // line 9: float fold
+}
+
+pub fn loop_accumulate(outboxes: &[Outbox]) -> f64 {
+    let mut total: f64 = 0.0;
+    for ob in outboxes.iter() {
+        total += ob.bytes as f64; // line 15: += in hinted loop
+    }
+    total
+}
+
+// Order-safe shapes that must NOT fire:
+
+pub fn max_fold_is_order_safe(worker_peaks: &[f64]) -> f64 {
+    worker_peaks.iter().fold(f64::NEG_INFINITY, f64::max)
+}
+
+pub fn index_order_sum_is_fine(weights: &[f64]) -> f64 {
+    weights.iter().sum::<f64>()
+}
+
+pub fn integer_accumulation_is_fine(per_partition: &[u64]) -> u64 {
+    let mut total = 0u64;
+    for x in per_partition.iter() {
+        total += x;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let per_partition = vec![1.0f64, 2.0];
+        assert!(per_partition.iter().sum::<f64>() > 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! D6 fixture codec. `GoodState` is fully covered by both paths (the
+//! clean pair). `DriftState` drifted: `added_later` was added to the
+//! decoder only, and `ghost` to neither path.
+
+pub fn put_good_state(buf: &mut Vec<u8>, s: &GoodState) {
+    put_u64(buf, s.ticks);
+    put_f64(buf, s.load);
+}
+
+pub fn get_good_state(r: &mut Reader) -> GoodState {
+    let ticks = get_u64(r);
+    let load = get_f64(r);
+    GoodState { ticks, load }
+}
+
+pub fn put_drift_state(buf: &mut Vec<u8>, s: &DriftState) {
+    put_u64(buf, s.epoch);
+}
+
+pub fn get_drift_state(r: &mut Reader) -> DriftState {
+    DriftState {
+        epoch: get_u64(r),
+        added_later: 0,
+        ..Default::default()
+    }
+}

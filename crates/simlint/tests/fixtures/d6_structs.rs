@@ -1,0 +1,13 @@
+//! D6 fixture structs, "serialized" by d6_codec.rs. GoodState round-trips
+//! completely; DriftState has two drifted fields (lines marked).
+
+pub struct GoodState {
+    pub ticks: u64,
+    pub load: f64,
+}
+
+pub struct DriftState {
+    pub epoch: u64,
+    pub added_later: u32, // line 11: decoder knows it, encoder does not
+    pub ghost: u16,       // line 12: neither path has heard of it
+}

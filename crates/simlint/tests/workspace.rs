@@ -62,7 +62,76 @@ fn real_workspace_matches_committed_baseline() {
         "stale baseline entries (violation fixed? prune the file): {:?}",
         cmp.stale
     );
+    // The committed baseline is EMPTY and must stay that way: every rule
+    // — including the v2 families D4 float-order, D5 determinism-taint
+    // and D6 snapshot-drift, which all ran in this scan — passes on the
+    // real workspace without absorbing a single violation.
+    assert_eq!(cmp.baselined, 0, "the committed baseline must stay empty");
     assert_eq!(outcome.exit_code(), 0);
+}
+
+/// The v2 acceptance criterion: adding a field to `WorldState` without
+/// touching the snapshot codec makes simlint exit non-zero, at the
+/// field's declaration line, before any test ever replays a snapshot.
+#[test]
+fn seeded_field_addition_to_world_state_fails_the_gate() {
+    let read_real = |rel: &str| {
+        fs::read_to_string(repo_root().join(rel))
+            // simlint: allow(unwrap-audit) -- test helper: abort with the path on IO failure
+            .unwrap_or_else(|e| panic!("{rel} unreadable: {e}"))
+    };
+    let world = read_real("crates/netsim/src/world.rs");
+    let codec = read_real("crates/snapshot/src/codec.rs");
+
+    // Control: the real pair, unmodified, is drift-free.
+    let ws = TempWorkspace::new("d6-clean");
+    ws.write("crates/netsim/src/world.rs", &world);
+    ws.write("crates/snapshot/src/codec.rs", &codec);
+    let clean = run(&Options::new(&ws.root)).expect("scan succeeds");
+    assert_eq!(clean.exit_code(), 0, "{:?}", clean.violations);
+
+    // Seed the drift: one new field, codec untouched.
+    let needle = "pub struct WorldState";
+    let at = world.find(needle).expect("WorldState defined in world.rs");
+    let brace = world[at..].find('\n').expect("struct spans lines") + at + 1;
+    let mut drifted = world.clone();
+    drifted.insert_str(brace, "    pub seeded_drift_probe: u64,\n");
+
+    let ws2 = TempWorkspace::new("d6-drift");
+    ws2.write("crates/netsim/src/world.rs", &drifted);
+    ws2.write("crates/snapshot/src/codec.rs", &codec);
+    let outcome = run(&Options::new(&ws2.root)).expect("scan succeeds");
+    assert_eq!(outcome.exit_code(), 1, "{:?}", outcome.violations);
+    assert_eq!(outcome.violations.len(), 1, "{:?}", outcome.violations);
+    let v = &outcome.violations[0];
+    assert_eq!(v.rule, Rule::SnapshotDrift);
+    assert!(v.message.contains("seeded_drift_probe"), "{}", v.message);
+    assert!(v.message.contains("both the encode"), "{}", v.message);
+}
+
+/// `--changed-since` narrows the per-file rules to the changed set but
+/// still runs the cross-file drift pass over everything.
+#[test]
+fn changed_since_scans_a_subset_of_the_workspace() {
+    let mut full = Options::new(repo_root());
+    full.baseline_path = Some(PathBuf::from("simlint-baseline.txt"));
+    let all = run(&full).expect("full scan succeeds");
+
+    let mut incremental = Options::new(repo_root());
+    incremental.baseline_path = Some(PathBuf::from("simlint-baseline.txt"));
+    incremental.changed_since = Some("HEAD".to_string());
+    let subset = run(&incremental).expect("incremental scan succeeds");
+    assert!(
+        subset.files <= all.files,
+        "changed-since scanned {} of {} files",
+        subset.files,
+        all.files
+    );
+    assert_eq!(subset.exit_code(), 0, "{:?}", subset.violations);
+
+    // --update-baseline refuses to run from a partial view.
+    incremental.update_baseline = true;
+    assert!(run(&incremental).is_err());
 }
 
 /// The acceptance criterion from the issue: introducing a HashMap

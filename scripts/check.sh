@@ -7,6 +7,8 @@
 #                             engine_hotpath, mem_footprint and
 #                             checkpoint_study smoke runs)
 #   scripts/check.sh --fast   skip the release-mode smoke runs
+#
+# Each stage is wall-clock timed; a summary table prints at the end.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,31 +23,59 @@ for arg in "$@"; do
     esac
 done
 
-echo "== cargo fmt --check =="
-cargo fmt --all -- --check
+STAGE_NAMES=()
+STAGE_SECS=()
 
-echo "== cargo clippy (deny warnings + unwrap_used, whole workspace) =="
-cargo clippy --workspace --all-targets -- -D warnings -D clippy::unwrap_used
+# stage <name> <cmd...>: run a gate stage, recording its wall-clock time.
+stage() {
+    local name="$1"
+    shift
+    echo "== $name =="
+    local start end
+    start=$(date +%s)
+    "$@"
+    end=$(date +%s)
+    STAGE_NAMES+=("$name")
+    STAGE_SECS+=($((end - start)))
+}
 
-echo "== simlint (determinism & safety static analysis) =="
-cargo run -q -p massf-simlint -- --workspace --baseline simlint-baseline.txt
+stage "cargo fmt --check" \
+    cargo fmt --all -- --check
 
-echo "== cargo test =="
-cargo test -q
+# simlint runs before clippy: it needs no compilation, so determinism
+# violations surface in under a second instead of after a full
+# workspace build.
+stage "simlint (determinism & safety static analysis)" \
+    cargo run -q -p massf-simlint -- --workspace --baseline simlint-baseline.txt
+
+stage "cargo clippy (deny warnings + unwrap_used, whole workspace)" \
+    cargo clippy --workspace --all-targets -- -D warnings -D clippy::unwrap_used
+
+stage "cargo test" \
+    cargo test -q
 
 if [ "$FAST" -eq 0 ]; then
-    echo "== fault_flap_study --smoke =="
-    cargo run --release -q -p massf-bench --bin fault_flap_study -- --smoke
-    echo "== route_resolution --smoke =="
-    cargo bench -q -p massf-bench --bench route_resolution -- --smoke
-    echo "== engine_hotpath --smoke =="
-    cargo bench -q -p massf-bench --bench engine_hotpath -- --smoke
-    echo "== mem_footprint --smoke =="
-    cargo run --release -q -p massf-bench --features alloc-count --bin mem_footprint -- --smoke
-    echo "== checkpoint_study --smoke =="
-    cargo run --release -q -p massf-bench --bin checkpoint_study -- --smoke
+    stage "fault_flap_study --smoke" \
+        cargo run --release -q -p massf-bench --bin fault_flap_study -- --smoke
+    stage "route_resolution --smoke" \
+        cargo bench -q -p massf-bench --bench route_resolution -- --smoke
+    stage "engine_hotpath --smoke" \
+        cargo bench -q -p massf-bench --bench engine_hotpath -- --smoke
+    stage "mem_footprint --smoke" \
+        cargo run --release -q -p massf-bench --features alloc-count --bin mem_footprint -- --smoke
+    stage "checkpoint_study --smoke" \
+        cargo run --release -q -p massf-bench --bin checkpoint_study -- --smoke
 else
     echo "== release-mode smoke runs skipped (--fast) =="
 fi
+
+echo
+echo "== stage timings =="
+total=0
+for i in "${!STAGE_NAMES[@]}"; do
+    printf '%4ds  %s\n' "${STAGE_SECS[$i]}" "${STAGE_NAMES[$i]}"
+    total=$((total + STAGE_SECS[i]))
+done
+printf '%4ds  total\n' "$total"
 
 echo "All checks passed."

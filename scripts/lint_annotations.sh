@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Render simlint findings as one-line `file:line:col: CODE message`
+# annotations — the format CI annotators and editor quickfix lists eat.
+#
+#   scripts/lint_annotations.sh [extra simlint args...]
+#
+# Runs simlint with `--format json` against the committed baseline and
+# reformats the output. Extra arguments are passed through, e.g.
+#   scripts/lint_annotations.sh --changed-since origin/main
+# Exit code is simlint's own: 0 clean, 1 violations, 2 error.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+json=$(cargo run -q -p massf-simlint -- --workspace \
+    --baseline simlint-baseline.txt --format json "$@" 2>/dev/null)
+status=$?
+if [ "$status" -eq 2 ]; then
+    echo "lint_annotations: simlint failed (run it directly for details)" >&2
+    exit 2
+fi
+
+if command -v jq >/dev/null 2>&1; then
+    printf '%s\n' "$json" |
+        jq -r '.[] | "\(.path):\(.line):\(.col): \(.code) \(.message)"'
+else
+    # Fallback without jq: the JSON is one object per line by design
+    # (see crates/simlint/src/report.rs), so sed can carve out the four
+    # fields. Handles every field value simlint actually emits; a real
+    # JSON parser is only needed for exotic escapes.
+    printf '%s\n' "$json" | sed -n \
+        's/^{"rule":"[^"]*","code":"\([^"]*\)","path":"\([^"]*\)","line":\([0-9]*\),"col":\([0-9]*\),"severity":"[^"]*","message":"\(.*\)","snippet":.*$/\2:\3:\4: \1 \5/p'
+fi
+
+exit "$status"
