@@ -27,7 +27,8 @@
 use massf_bench::{HarnessOptions, MeasuredBarriers};
 use massf_core::prelude::*;
 use massf_netsim::{
-    Agent, FaultScript, FaultState, NetSimBuilder, NoApp, ProfileData, SimOutput, MAX_RETRIES,
+    Agent, FaultScript, FaultState, NetSimBuilder, NoApp, ProfileData, SimOutput,
+    FLUID_CONTROL_DELAY, MAX_RETRIES,
 };
 use massf_routing::{CostMetric, FlatResolver};
 use rand::{Rng, SeedableRng};
@@ -94,7 +95,9 @@ fn parse_extra(harness: HarnessOptions, rest: Vec<String>) -> StudyOptions {
 }
 
 /// Seeded background traffic: TCP flows between random host pairs,
-/// injected over the first 60% of the run.
+/// injected over the first 60% of the run, plus one fluid background
+/// flow per four TCP flows so the study exercises the mixed-fidelity
+/// fault interaction (reroute/terminate on flap) at study scale.
 fn traffic(hosts: &[NodeId], duration: SimTime, flows: usize, seed: u64) -> Agent {
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xF1A9);
     let mut agent = Agent::new();
@@ -111,6 +114,16 @@ fn traffic(hosts: &[NodeId], duration: SimTime, flows: usize, seed: u64) -> Agen
         let at = SimTime(rng.gen_range(0..span));
         let bytes = 10_000 + rng.gen_range(0u64..190_000);
         agent.inject_tcp(at, src, dst, bytes);
+    }
+    for _ in 0..flows / 4 {
+        let src = hosts[rng.gen_range(0..hosts.len())];
+        let dst = hosts[rng.gen_range(0..hosts.len())];
+        if dst == src {
+            continue;
+        }
+        let at = SimTime(rng.gen_range(0..span));
+        let bytes = 200_000 + rng.gen_range(0u64..1_800_000);
+        agent.inject_fluid(at, src, dst, bytes);
     }
     agent
 }
@@ -230,7 +243,7 @@ fn main() {
     };
     println!();
     println!("{:<22} {:>14} {:>14}", "metric", "clean", "faulted");
-    let rows: [(&str, u64, u64); 10] = [
+    let rows: [(&str, u64, u64); 18] = [
         (
             "total events",
             clean.stats.total_events,
@@ -276,6 +289,46 @@ fn main() {
             "route-cache evictions",
             clean.profile.route_cache.evictions,
             faulted.profile.route_cache.evictions,
+        ),
+        (
+            "fluid started",
+            clean.profile.fluid.started,
+            faulted.profile.fluid.started,
+        ),
+        (
+            "fluid completed",
+            clean.profile.fluid.completed,
+            faulted.profile.fluid.completed,
+        ),
+        (
+            "fluid aborted",
+            clean.profile.fluid.aborted,
+            faulted.profile.fluid.aborted,
+        ),
+        (
+            "fluid rerouted",
+            clean.profile.fluid.rerouted,
+            faulted.profile.fluid.rerouted,
+        ),
+        (
+            "fluid rate recomputes",
+            clean.profile.fluid.rate_recomputes,
+            faulted.profile.fluid.rate_recomputes,
+        ),
+        (
+            "fluid bottleneck rcmp",
+            clean.profile.fluid.bottleneck_recomputes,
+            faulted.profile.fluid.bottleneck_recomputes,
+        ),
+        (
+            "fluid cap updates",
+            clean.profile.fluid.cap_updates,
+            faulted.profile.fluid.cap_updates,
+        ),
+        (
+            "fluid pkt-load updates",
+            clean.profile.fluid.packet_load_updates,
+            faulted.profile.fluid.packet_load_updates,
         ),
     ];
     for (name, c, f) in rows {
@@ -360,6 +413,10 @@ fn main() {
             faulted.profile.route_cache.misses > 0,
             "route cache was never consulted"
         );
+        assert!(
+            faulted.profile.fluid.started > 0,
+            "no fluid background traffic flowed"
+        );
         let n = net.node_count();
         let assignment: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
         let mut mll = f64::INFINITY;
@@ -376,12 +433,15 @@ fn main() {
             .try_run_parallel_observed(
                 NoApp,
                 duration,
-                SimTime::from_ms_f64(mll),
+                // Fluid control events promise exactly
+                // FLUID_CONTROL_DELAY of cross-LP lookahead, so the
+                // window is the cut MLL capped at that delay.
+                SimTime::from_ms_f64(mll).min(FLUID_CONTROL_DELAY),
                 &assignment,
                 2,
                 &observer,
             )
-            .expect("smoke window equals the cut MLL, so no lookahead violation is possible");
+            .expect("smoke window is within both the cut MLL and the fluid control delay");
         assert_eq!(
             par.stats.total_events, faulted.stats.total_events,
             "parallel faulted run diverged from sequential"

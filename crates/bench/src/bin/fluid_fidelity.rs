@@ -1,0 +1,181 @@
+//! Mixed-fidelity fidelity bench: how much does replacing packet-level
+//! background TCP with fluid flows distort the *foreground* traffic
+//! that stays packet-level?
+//!
+//! One dumbbell carries both: a foreground TCP transfer A → B plus
+//! periodic one-segment "probe" flows A → B (their completion time is
+//! an RTT-plus-queueing proxy), against a rolling population of
+//! background transfers C → D crossing the same bottleneck. The bench
+//! runs the identical demand schedule twice —
+//!
+//! * **ground truth**: background as packet-level TCP,
+//! * **mixed**: background as fluid flows (everything else unchanged) —
+//!
+//! and reports foreground throughput distortion, probe-RTT distortion,
+//! and the event-count reduction the fluid substitution buys.
+//!
+//! ```text
+//! cargo run --release -p massf-bench --bin fluid_fidelity
+//! ```
+
+use massf_engine::SimTime;
+use massf_netsim::{Agent, AppLogic, FlowId, NetSimBuilder, SimApi, SimOutput};
+use massf_routing::{CostMetric, FlatResolver};
+use massf_topology::{AsId, Network, NodeId, NodeKind, Point};
+use std::sync::Arc;
+
+/// Records every completed flow at its source with its finish time.
+#[derive(Clone, Default)]
+struct Completions(Vec<(NodeId, FlowId, SimTime)>);
+
+impl AppLogic for Completions {
+    fn on_flow_complete(&mut self, host: NodeId, flow: FlowId, api: &mut SimApi<'_, '_>) {
+        self.0.push((host, flow, api.now()));
+    }
+    fn on_timer(&mut self, _: NodeId, _: u64, _: &mut SimApi<'_, '_>) {}
+}
+
+const FG_BYTES: u64 = 2_000_000;
+const BG_BYTES: u64 = 1_000_000;
+const BG_FLOWS: usize = 40;
+const BG_SPACING: SimTime = SimTime::from_ms(500);
+const PROBES: usize = 30;
+const PROBE_SPACING: SimTime = SimTime::from_secs(1);
+const PROBE_BYTES: u64 = 1_000; // single segment
+const END: SimTime = SimTime::from_secs(120);
+
+/// A — r1 — r2 — B foreground path; C and D hang off the same routers
+/// so background C → D crosses the shared 10 Mbit/s bottleneck.
+///
+/// `r1` is added first on purpose: fluid flows draw their `FlowId`s
+/// from the coordinator's (NodeId 0's) counter space, and host `a`'s
+/// probe counters must stay contiguous for `duration_of` lookups.
+fn topology() -> (Network, [NodeId; 4]) {
+    let mut net = Network::new();
+    let r1 = net.add_node(NodeKind::Router, Point::new(1.0, 0.0), AsId(0));
+    let a = net.add_node(NodeKind::Host, Point::new(0.0, 0.0), AsId(0));
+    let r2 = net.add_node(NodeKind::Router, Point::new(2.0, 0.0), AsId(0));
+    let b = net.add_node(NodeKind::Host, Point::new(3.0, 0.0), AsId(0));
+    let c = net.add_node(NodeKind::Host, Point::new(0.0, 1.0), AsId(0));
+    let d = net.add_node(NodeKind::Host, Point::new(3.0, 1.0), AsId(0));
+    net.add_link(a, r1, 1e8, 0.1);
+    net.add_link(c, r1, 1e8, 0.1);
+    net.add_link(r1, r2, 1e7, 2.0); // shared bottleneck
+    net.add_link(r2, b, 1e8, 0.1);
+    net.add_link(r2, d, 1e8, 0.1);
+    (net, [a, b, c, d])
+}
+
+/// The demand schedule; `fluid_background` picks the background model.
+fn run(fluid_background: bool) -> (SimOutput<Completions>, Vec<SimTime>) {
+    let (net, [a, b, c, d]) = topology();
+    let resolver = Arc::new(FlatResolver::new(&net, CostMetric::Latency));
+    let mut builder = NetSimBuilder::new(net, resolver);
+    let mut agent = Agent::new();
+    // Foreground transfer and probes are always packet TCP.
+    agent.inject_tcp(SimTime::ZERO, a, b, FG_BYTES);
+    let mut probe_starts = Vec::with_capacity(PROBES);
+    for k in 0..PROBES {
+        let at = SimTime(PROBE_SPACING.as_ns() * (k as u64 + 1));
+        probe_starts.push(at);
+        agent.inject_tcp(at, a, b, PROBE_BYTES);
+    }
+    // Background population, same byte schedule in both fidelities.
+    for k in 0..BG_FLOWS {
+        let at = SimTime(BG_SPACING.as_ns() * k as u64);
+        if fluid_background {
+            agent.inject_fluid(at, c, d, BG_BYTES);
+        } else {
+            agent.inject_tcp(at, c, d, BG_BYTES);
+        }
+    }
+    builder.add_agent(agent);
+    (
+        builder.run_sequential(Completions::default(), END),
+        probe_starts,
+    )
+}
+
+/// Completion time of source-`a` flow with counter `i` (injection
+/// order == counter order: all `a` flows are injected time-sorted).
+fn duration_of(
+    completions: &[(NodeId, FlowId, SimTime)],
+    src: NodeId,
+    counter: u32,
+    started: SimTime,
+) -> Option<SimTime> {
+    let flow = FlowId::new(src, counter);
+    completions
+        .iter()
+        .find(|&&(h, f, _)| h == src && f == flow)
+        .map(|&(_, _, at)| at.saturating_sub(started))
+}
+
+fn main() {
+    if std::env::args().len() > 1 {
+        eprintln!("usage: fluid_fidelity (no arguments)");
+        std::process::exit(2);
+    }
+    eprintln!("# ground-truth run (background as packet TCP) …");
+    let (truth, probe_starts) = run(false);
+    eprintln!("# mixed run (background as fluid) …");
+    let (mixed, _) = run(true);
+
+    let (_, [a, ..]) = topology();
+    let report = |out: &SimOutput<Completions>| -> (f64, f64, usize) {
+        let completions = &out.apps[0].0;
+        let fg = duration_of(completions, a, 0, SimTime::ZERO)
+            .expect("foreground flow must complete inside the horizon");
+        let mut rtts = Vec::new();
+        for (k, &at) in probe_starts.iter().enumerate() {
+            if let Some(d) = duration_of(completions, a, (k + 1) as u32, at) {
+                rtts.push(d.as_secs_f64() * 1e3);
+            }
+        }
+        let mean_rtt = rtts.iter().sum::<f64>() / rtts.len().max(1) as f64;
+        (fg.as_secs_f64(), mean_rtt, rtts.len())
+    };
+    let (fg_truth, rtt_truth, probes_truth) = report(&truth);
+    let (fg_mixed, rtt_mixed, probes_mixed) = report(&mixed);
+    let pct = |truth: f64, mixed: f64| (mixed - truth) / truth * 100.0;
+    let reduction = truth.stats.total_events as f64 / mixed.stats.total_events as f64;
+
+    println!("{{");
+    println!(
+        "  \"workload\": {{ \"foreground_bytes\": {FG_BYTES}, \"probes\": {PROBES}, \"background_flows\": {BG_FLOWS}, \"background_bytes\": {BG_BYTES}, \"bottleneck_bps\": 1e7 }},"
+    );
+    println!("  \"ground_truth\": {{");
+    println!("    \"foreground_completion_s\": {fg_truth:.4},");
+    println!("    \"probe_rtt_ms_mean\": {rtt_truth:.3}, \"probes_completed\": {probes_truth},");
+    println!(
+        "    \"total_events\": {}, \"drops\": {}",
+        truth.stats.total_events, truth.profile.drops
+    );
+    println!("  }},");
+    println!("  \"mixed_fidelity\": {{");
+    println!("    \"foreground_completion_s\": {fg_mixed:.4},");
+    println!("    \"probe_rtt_ms_mean\": {rtt_mixed:.3}, \"probes_completed\": {probes_mixed},");
+    println!(
+        "    \"total_events\": {}, \"drops\": {}, \"fluid_completed\": {}",
+        mixed.stats.total_events, mixed.profile.drops, mixed.profile.fluid.completed
+    );
+    println!("  }},");
+    println!("  \"distortion\": {{");
+    println!(
+        "    \"foreground_throughput_pct\": {:.2},",
+        // Throughput distortion is the negated completion-time one.
+        -pct(fg_truth, fg_mixed)
+    );
+    println!("    \"probe_rtt_pct\": {:.2},", pct(rtt_truth, rtt_mixed));
+    println!("    \"event_reduction\": {reduction:.1}");
+    println!("  }}");
+    println!("}}");
+
+    // Sanity, not acceptance: both runs must actually exercise the
+    // shared bottleneck and finish their foreground work.
+    assert!(probes_truth > 0 && probes_mixed > 0);
+    assert_eq!(
+        mixed.profile.fluid.completed, BG_FLOWS as u64,
+        "all background fluid flows must complete"
+    );
+}

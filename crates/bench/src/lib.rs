@@ -290,8 +290,10 @@ fn run_suite_once(
         // (order and results identical to the old sequential loop).
         let outputs = run_approaches(&scenario, approaches, &cfg, &model, duration);
         let mut cache = massf_netsim::RouteCacheStats::default();
+        let mut fluid = massf_netsim::FluidStats::default();
         for out in outputs {
             cache.merge(&out.run_profile.route_cache);
+            fluid.merge(&out.run_profile.fluid);
             rows.push(SuiteRow {
                 workload,
                 approach: out.approach,
@@ -306,6 +308,17 @@ fn run_suite_once(
             cache.misses,
             cache.evictions,
             cache.hit_rate() * 100.0
+        );
+        eprintln!(
+            "# fluid ({}): {} started / {} completed / {} aborted, {} rate recomputes / {} bottleneck recomputes, {} cap updates / {} packet-load updates",
+            workload.label(),
+            fluid.started,
+            fluid.completed,
+            fluid.aborted,
+            fluid.rate_recomputes,
+            fluid.bottleneck_recomputes,
+            fluid.cap_updates,
+            fluid.packet_load_updates
         );
     }
     rows

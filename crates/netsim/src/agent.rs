@@ -8,6 +8,7 @@
 //! registered (by workload models, trace replayers, or tests) and turned
 //! into engine events at simulation start.
 
+use crate::fluid::{FLUID_COORDINATOR, FLUID_UNBOUNDED};
 use crate::packet::NetEvent;
 use crate::world::TransportKind;
 use massf_engine::{LpId, SimTime};
@@ -23,10 +24,22 @@ pub struct Injection {
     pub transport: TransportKind,
 }
 
+/// One registered fluid background flow (see `crate::fluid`).
+#[derive(Debug, Clone)]
+pub struct FluidInjection {
+    pub at: SimTime,
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub bytes: u64,
+    /// Demand cap in bits/s; [`FLUID_UNBOUNDED`] = bottleneck-limited.
+    pub peak_bps: u64,
+}
+
 /// Collects traffic demands and converts them to initial engine events.
 #[derive(Debug, Clone, Default)]
 pub struct Agent {
     injections: Vec<Injection>,
+    fluids: Vec<FluidInjection>,
 }
 
 impl Agent {
@@ -57,26 +70,67 @@ impl Agent {
         });
     }
 
-    /// Number of registered demands.
+    /// Register a bottleneck-limited fluid background flow of `bytes`
+    /// from `src` to `dst` at `at` (see `crate::fluid`).
+    pub fn inject_fluid(&mut self, at: SimTime, src: NodeId, dst: NodeId, bytes: u64) {
+        self.fluids.push(FluidInjection {
+            at,
+            src,
+            dst,
+            bytes,
+            peak_bps: FLUID_UNBOUNDED,
+        });
+    }
+
+    /// Register a fluid background flow whose demand is capped at
+    /// `peak_bps` bits/s (matching link bandwidth units).
+    pub fn inject_fluid_capped(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        peak_bps: u64,
+    ) {
+        self.fluids.push(FluidInjection {
+            at,
+            src,
+            dst,
+            bytes,
+            peak_bps,
+        });
+    }
+
+    /// Number of registered demands (packet and fluid).
     pub fn len(&self) -> usize {
-        self.injections.len()
+        self.injections.len() + self.fluids.len()
     }
 
     /// True when nothing is registered.
     pub fn is_empty(&self) -> bool {
-        self.injections.is_empty()
+        self.injections.is_empty() && self.fluids.is_empty()
     }
 
-    /// All registered demands.
+    /// All registered packet-level demands.
     pub fn injections(&self) -> &[Injection] {
         &self.injections
     }
 
-    /// Convert to initial events for the engine (sorted by time for
-    /// readability; the engine orders them anyway).
+    /// All registered fluid demands.
+    pub fn fluid_injections(&self) -> &[FluidInjection] {
+        &self.fluids
+    }
+
+    /// Convert to initial events for the engine: packet demands first,
+    /// then fluid demands, each block sorted by time (for readability —
+    /// the engine interleaves by `(time, tag)` anyway, and keeping the
+    /// blocks stable keeps packet-only scenarios' event tags unchanged
+    /// by the presence of this method).
     pub fn into_initial_events(mut self) -> Vec<(SimTime, LpId, NetEvent)> {
         self.injections.sort_by_key(|i| i.at);
-        self.injections
+        self.fluids.sort_by_key(|i| i.at);
+        let mut events: Vec<(SimTime, LpId, NetEvent)> = self
+            .injections
             .into_iter()
             .map(|i| {
                 let ev = match i.transport {
@@ -92,7 +146,25 @@ impl Agent {
                 };
                 (i.at, LpId(i.src.0), ev)
             })
-            .collect()
+            .collect();
+        events.extend(self.fluids.into_iter().map(|i| {
+            (
+                i.at,
+                LpId(FLUID_COORDINATOR.0),
+                NetEvent::FluidStart {
+                    src: i.src,
+                    dst: i.dst,
+                    bytes: i.bytes,
+                    // `peak_bps == 0` is the unbounded wire encoding.
+                    peak_bps: if i.peak_bps == FLUID_UNBOUNDED {
+                        0
+                    } else {
+                        i.peak_bps
+                    },
+                },
+            )
+        }));
+        events
     }
 }
 

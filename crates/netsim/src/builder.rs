@@ -5,6 +5,7 @@
 //! logic together, and runs the result on any of the engine's executors.
 
 use crate::agent::Agent;
+use crate::fluid::FLUID_COORDINATOR;
 use crate::packet::NetEvent;
 use crate::profiling::ProfileData;
 use crate::world::{AppLogic, NetWorld, SharedNet, DEFAULT_ROUTE_CACHE_CAPACITY};
@@ -15,6 +16,7 @@ use massf_engine::{
 use massf_faults::{FaultKind, FaultState};
 use massf_routing::PathResolver;
 use massf_topology::Network;
+use massf_topology::NodeId;
 use std::sync::Arc;
 
 /// Results of one simulation run.
@@ -108,6 +110,31 @@ impl NetSimBuilder {
         self
     }
 
+    /// Schedule one fluid background flow (see `crate::fluid`):
+    /// `bytes` from `src` to `dst` starting at `at`, demand capped at
+    /// `peak_bps` bits/s (`0` = bottleneck-limited). The event targets
+    /// the fluid coordinator LP directly.
+    pub fn add_fluid_flow(
+        &mut self,
+        at: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        peak_bps: u64,
+    ) -> &mut Self {
+        self.initial.push((
+            at,
+            LpId(FLUID_COORDINATOR.0),
+            NetEvent::FluidStart {
+                src,
+                dst,
+                bytes,
+                peak_bps,
+            },
+        ));
+        self
+    }
+
     /// All initial events for a run: the accumulated traffic, then the
     /// fault script (if any) as `Fault` events in time-sorted order.
     /// Fault events target the LP of the faulted entity (a link's `a`
@@ -130,6 +157,27 @@ impl NetSimBuilder {
                     }
                 };
                 events.push((e.at, lp, NetEvent::Fault { kind: e.kind }));
+            }
+        }
+        // Mirror the fault script to the fluid coordinator so flows
+        // traversing a failed element reroute or abort at fault time.
+        // Appended only when the scenario injects fluid traffic (so
+        // packet-only runs keep their exact event tags), and after the
+        // `Fault` events so reconvergence precedes the fluid reaction
+        // at equal timestamps.
+        let any_fluid = self
+            .initial
+            .iter()
+            .any(|(_, _, e)| matches!(e, NetEvent::FluidStart { .. }));
+        if any_fluid {
+            if let Some(faults) = &self.shared.faults {
+                for e in faults.script().sorted_events() {
+                    events.push((
+                        e.at,
+                        LpId(FLUID_COORDINATOR.0),
+                        NetEvent::FluidFault { kind: e.kind },
+                    ));
+                }
             }
         }
         events

@@ -25,6 +25,7 @@
 
 pub mod agent;
 pub mod builder;
+pub mod fluid;
 pub mod packet;
 pub mod profiling;
 pub mod tcp;
@@ -32,6 +33,10 @@ pub mod world;
 
 pub use agent::Agent;
 pub use builder::{NetSimBuilder, SimOutput};
+pub use fluid::{
+    FluidFlowEntryState, FluidStats, FluidWorldState, FLUID_CONTROL_DELAY, FLUID_COORDINATOR,
+    FLUID_EST_WINDOW, FLUID_UNBOUNDED,
+};
 pub use massf_faults::{FaultEvent, FaultKind, FaultScript, FaultState};
 pub use massf_routing::RouteCacheStats;
 pub use packet::{FlowId, NetEvent, Packet, PacketKind};

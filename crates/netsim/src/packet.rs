@@ -138,6 +138,35 @@ pub enum NetEvent {
     /// first-class, counted occurrence and forces the routing
     /// reconvergence for the new epoch at fault time.
     Fault { kind: FaultKind },
+    /// Open a fluid (flow-level) background flow from `src` to `dst`.
+    /// Always targets the fluid coordinator LP
+    /// ([`crate::fluid::FLUID_COORDINATOR`]); `peak_bps == 0` means the
+    /// flow's demand is unbounded (limited only by its bottleneck).
+    FluidStart {
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        peak_bps: u64,
+    },
+    /// Fluid-flow completion alarm, armed by the max-min solver for the
+    /// time `remaining / rate` runs out. Stale epochs (the flow's rate
+    /// changed since arming) re-arm or park instead of completing.
+    /// Coordinator LP → coordinator LP.
+    FluidFinish { flow: FlowId, epoch: u32 },
+    /// Mirror of [`NetEvent::Fault`] delivered to the fluid coordinator
+    /// so flows traversing a failed element reroute or terminate at
+    /// fault time. Appended by the builder only when the scenario
+    /// injects fluid traffic.
+    FluidFault { kind: FaultKind },
+    /// Fluid → packet feedback: the coordinator reports the aggregate
+    /// fluid rate (bytes/s) on one link direction (`slot = link·2 +
+    /// dir`) to the LP that serializes onto it, shrinking the residual
+    /// capacity and buffer the packet path sees there.
+    FluidCapUpdate { slot: u32, fluid_bps: u64 },
+    /// Packet → fluid feedback: a transmitting LP reports its windowed
+    /// packet-load estimate (bytes/s) on one link direction to the
+    /// coordinator, shrinking the capacity the max-min solver shares.
+    FluidPacketLoad { slot: u32, bps: u64 },
 }
 
 /// Size budget: `Arrive` dominates — the 48-byte [`Packet`] plus the

@@ -8,6 +8,7 @@
 //! per-node kernel-event counts (vertex weights) and per-link packet
 //! counts (edge weights).
 
+use crate::fluid::FluidStats;
 use massf_routing::RouteCacheStats;
 
 /// Traffic counters from one simulation run (or one partition's shard;
@@ -40,6 +41,10 @@ pub struct ProfileData {
     /// source and queried only from the source's LP), so these counters
     /// participate in the bit-identity equality checks like any other.
     pub route_cache: RouteCacheStats,
+    /// Fluid background-traffic counters (see `crate::fluid`). All
+    /// owned by the coordinator LP except `packet_load_updates`'
+    /// emission side, so the merge is a plain sum.
+    pub fluid: FluidStats,
 }
 
 impl ProfileData {
@@ -56,6 +61,7 @@ impl ProfileData {
             aborted_flows: 0,
             fault_events: 0,
             route_cache: RouteCacheStats::default(),
+            fluid: FluidStats::default(),
         }
     }
 
@@ -80,6 +86,7 @@ impl ProfileData {
         self.aborted_flows += other.aborted_flows;
         self.fault_events += other.fault_events;
         self.route_cache.merge(&other.route_cache);
+        self.fluid.merge(&other.fluid);
     }
 
     /// Total packets handled across all nodes.

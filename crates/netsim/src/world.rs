@@ -16,6 +16,10 @@
 //! `FlowId`s, events, or results, so sequential and parallel runs stay
 //! bit-identical even though their worlds recycle slots differently.
 
+use crate::fluid::{
+    FluidCoupling, FluidState, FluidWorldState, FLUID_CONTROL_DELAY, FLUID_COORDINATOR,
+    PACKET_FLOOR_DIV,
+};
 use crate::packet::{FlowId, NetEvent, Packet, PacketKind, ACK_BYTES, HEADER_BYTES, MSS};
 use crate::profiling::ProfileData;
 use crate::tcp::{AbortReason, SendAction, TcpReceiver, TcpSender, TcpSenderState, MAX_RETRIES};
@@ -133,6 +137,10 @@ pub struct SharedNet {
     port: PortTable,
     /// Drop-tail buffer size per link, bytes.
     buffer_bytes: Vec<u64>,
+    /// Per-link line rate in bytes/s (fixed-point image of
+    /// `bandwidth_bps`, `≥ 1`), shared by the fluid solver and the
+    /// packet-side coupling so both fidelities divide the same integer.
+    pub(crate) cap_bytes_per_sec: Vec<u64>,
 }
 
 impl SharedNet {
@@ -158,8 +166,10 @@ impl SharedNet {
     ) -> Arc<Self> {
         let port = PortTable::build(&net);
         let mut buffer_bytes = Vec::with_capacity(net.links.len());
+        let mut cap_bytes_per_sec = Vec::with_capacity(net.links.len());
         for link in &net.links {
             buffer_bytes.push(((link.bandwidth_bps * 0.050 / 8.0) as u64).max(30_000));
+            cap_bytes_per_sec.push(((link.bandwidth_bps / 8.0) as u64).max(1));
         }
         Arc::new(SharedNet {
             net,
@@ -167,6 +177,7 @@ impl SharedNet {
             faults,
             port,
             buffer_bytes,
+            cap_bytes_per_sec,
         })
     }
 
@@ -190,6 +201,15 @@ impl SharedNet {
     /// Number of LPs (all nodes are LPs).
     pub fn lp_count(&self) -> usize {
         self.net.node_count()
+    }
+
+    /// Link ids incident to `node` (CSR range; each id appears once per
+    /// adjacency entry). Used by the fluid coordinator to localize a
+    /// router crash to the flows traversing it.
+    pub(crate) fn incident_links(&self, node: NodeId) -> &[u32] {
+        let lo = self.port.offsets[node.index()] as usize;
+        let hi = self.port.offsets[node.index() + 1] as usize;
+        &self.port.links[lo..hi]
     }
 }
 
@@ -262,6 +282,7 @@ impl SimApi<'_, '_> {
         transmit(
             self.shared,
             &mut self.state.busy_until,
+            &mut self.state.coupling,
             self.profile,
             self.emitter,
             pkt,
@@ -275,6 +296,25 @@ impl SimApi<'_, '_> {
     pub fn set_timer(&mut self, delay: SimTime, token: u64) {
         self.emitter
             .emit(delay, LpId(self.host.0), NetEvent::AppTimer { token });
+    }
+
+    /// Request a fluid (flow-level) background flow from this host to
+    /// `dst` (see `crate::fluid`). The request travels to the fluid
+    /// coordinator LP with the uniform [`FLUID_CONTROL_DELAY`];
+    /// admission (routability) is decided there, so there is no
+    /// immediate flow id. `peak_bps` (bits/s, matching link bandwidth
+    /// units) caps the flow's demand; `0` means bottleneck-limited.
+    pub fn start_fluid_flow(&mut self, dst: NodeId, bytes: u64, peak_bps: u64) {
+        self.emitter.emit(
+            FLUID_CONTROL_DELAY,
+            LpId(FLUID_COORDINATOR.0),
+            NetEvent::FluidStart {
+                src: self.host,
+                dst,
+                bytes,
+                peak_bps,
+            },
+        );
     }
 }
 
@@ -306,6 +346,29 @@ pub trait AppLogic: Send {
         _host: NodeId,
         _flow: FlowId,
         _reason: AbortReason,
+        _api: &mut SimApi<'_, '_>,
+    ) {
+    }
+
+    /// A fluid background flow `src → dst` transferred all its bytes.
+    /// Called at the fluid coordinator LP (`api.host()` is the
+    /// coordinator, not `src`). Default: ignore.
+    fn on_fluid_complete(
+        &mut self,
+        _src: NodeId,
+        _flow: FlowId,
+        _dst: NodeId,
+        _api: &mut SimApi<'_, '_>,
+    ) {
+    }
+
+    /// A fluid background flow was terminated by a fault with no
+    /// surviving path. Called at the coordinator LP. Default: ignore.
+    fn on_fluid_aborted(
+        &mut self,
+        _src: NodeId,
+        _flow: FlowId,
+        _dst: NodeId,
         _api: &mut SimApi<'_, '_>,
     ) {
     }
@@ -483,6 +546,14 @@ struct NodeStates {
     action_scratch: Vec<SendAction>,
     /// Retry budget handed to every newly opened TCP flow.
     max_retries: u32,
+    /// Packet-side fluid coupling per (link, direction): coordinator-
+    /// reported fluid rates and the packet-load estimator. Lazily
+    /// allocated on the first `FluidCapUpdate` this world receives, so
+    /// packet-only runs carry nothing.
+    coupling: FluidCoupling,
+    /// The fluid solver, present only in the world owning
+    /// [`FLUID_COORDINATOR`] and only once fluid traffic appeared.
+    fluid: Option<Box<FluidState>>,
 }
 
 impl NodeStates {
@@ -496,6 +567,8 @@ impl NodeStates {
             route_cache: RouteCache::new(nodes, route_cache_capacity),
             action_scratch: Vec::new(),
             max_retries,
+            coupling: FluidCoupling::default(),
+            fluid: None,
         }
     }
 }
@@ -598,6 +671,7 @@ fn route_arc(
 fn transmit(
     shared: &SharedNet,
     busy_until: &mut [SimTime],
+    coupling: &mut FluidCoupling,
     profile: &mut ProfileData,
     emitter: &mut Emitter<'_, NetEvent>,
     mut pkt: Packet,
@@ -617,18 +691,51 @@ fn transmit(
     let dir = usize::from(from != link.a);
     let slot = link.id.index() * 2 + dir;
 
+    // Fluid → packet coupling: once the coordinator has reported a
+    // fluid aggregate for this slot, packets serialize at the residual
+    // line rate (the fluid share is clamped so packets keep ≥ 1/16 of
+    // the link) and the fluid share of the drop-tail buffer is charged
+    // as standing occupancy. Unsubscribed slots — every slot in a
+    // packet-only run — take the exact pre-fluid arithmetic, so pure
+    // packet runs are bit-identical to what they were.
+    let fluid = match coupling.fluid_bps.get(slot) {
+        Some(&f) if f != u64::MAX => {
+            let cap = shared.cap_bytes_per_sec[link.id.index()];
+            Some(f.min(cap - cap / PACKET_FLOOR_DIV))
+        }
+        _ => None,
+    };
+    let (bandwidth_bps, buffer) = match fluid {
+        Some(fl) => {
+            let cap = shared.cap_bytes_per_sec[link.id.index()];
+            let buf = shared.buffer_bytes[link.id.index()];
+            let fluid_buf = ((buf as u128 * fl as u128) / cap as u128) as u64;
+            ((cap - fl) as f64 * 8.0, buf - fluid_buf)
+        }
+        None => (link.bandwidth_bps, shared.buffer_bytes[link.id.index()]),
+    };
+
     let busy = busy_until[slot];
     let depart = busy.max(now);
-    // Bytes already queued = backlog time × line rate.
-    let backlog_bytes =
-        (depart.saturating_sub(now).as_secs_f64() * link.bandwidth_bps / 8.0) as u64;
-    if backlog_bytes + pkt.size_bytes as u64 > shared.buffer_bytes[link.id.index()] {
+    // Bytes already queued = backlog time × (residual) line rate.
+    let backlog_bytes = (depart.saturating_sub(now).as_secs_f64() * bandwidth_bps / 8.0) as u64;
+    if backlog_bytes + pkt.size_bytes as u64 > buffer {
         profile.drops += 1;
         return;
     }
-    let tx = SimTime::from_secs_f64(pkt.size_bytes as f64 * 8.0 / link.bandwidth_bps);
+    let tx = SimTime::from_secs_f64(pkt.size_bytes as f64 * 8.0 / bandwidth_bps);
     busy_until[slot] = depart + tx;
     profile.link_packets[link.id.index()] += 1;
+    if fluid.is_some() {
+        // Packet → fluid coupling: feed the slot's load estimator.
+        coupling.observe(
+            shared.cap_bytes_per_sec[link.id.index()],
+            slot,
+            pkt.size_bytes as u64,
+            now,
+            emitter,
+        );
+    }
 
     let arrival_delay = (depart + tx + SimTime::from_ms_f64(link.latency_ms)) - now;
     pkt.hop += 1;
@@ -661,6 +768,7 @@ fn start_tcp_flow_inner(
     apply_actions(
         shared,
         &mut state.busy_until,
+        &mut state.coupling,
         profile,
         emitter,
         flow,
@@ -701,6 +809,7 @@ enum FlowOutcome {
 fn apply_actions(
     shared: &SharedNet,
     busy_until: &mut [SimTime],
+    coupling: &mut FluidCoupling,
     profile: &mut ProfileData,
     emitter: &mut Emitter<'_, NetEvent>,
     flow: FlowId,
@@ -725,7 +834,7 @@ fn apply_actions(
                     hop: 0,
                     kind: PacketKind::Data,
                 };
-                transmit(shared, busy_until, profile, emitter, pkt, now);
+                transmit(shared, busy_until, coupling, profile, emitter, pkt, now);
             }
             SendAction::Complete => outcome = FlowOutcome::Completed,
             SendAction::Abort => outcome = FlowOutcome::Aborted,
@@ -813,6 +922,26 @@ pub struct WorldState {
     pub profile: ProfileData,
     /// TCP retry budget for flows opened after restore.
     pub max_retries: u32,
+    /// Fluid coordinator state (flows, packet loads, reported rates);
+    /// empty in packet-only runs and in partition exports that don't
+    /// own the coordinator LP.
+    pub fluid: FluidWorldState,
+    /// Packet-side coupling per slot: the fluid rate last installed by
+    /// a `FluidCapUpdate` (`u64::MAX` = slot never subscribed). Length
+    /// `2·links`, or empty when the world never saw fluid traffic.
+    /// Partitions only advance slots whose sender node they own, and
+    /// the unsubscribed value is the numeric maximum, so partition
+    /// exports merge by elementwise **min**.
+    pub fluid_seen_bps: Vec<u64>,
+    /// Open packet-load estimator window start per slot
+    /// (`SimTime::MAX` = closed); same length rules; min-merged.
+    pub fluid_est_start: Vec<SimTime>,
+    /// Bytes accumulated in the open estimator window per slot;
+    /// max-merged (non-owners stay at 0).
+    pub fluid_est_bytes: Vec<u64>,
+    /// Last packet-load level reported to the coordinator per slot;
+    /// max-merged (non-owners stay at 0).
+    pub fluid_est_reported: Vec<u64>,
 }
 
 /// Check that `path` is a plausible source route over `shared`'s
@@ -820,7 +949,11 @@ pub struct WorldState {
 /// adjacent. Restored packets and flows travel these paths through
 /// [`transmit`], whose link lookup `expect`s adjacency — hostile
 /// snapshot input must be stopped here, not there.
-fn validate_route(shared: &SharedNet, path: &[NodeId], section: &str) -> Result<(), MassfError> {
+pub(crate) fn validate_route(
+    shared: &SharedNet,
+    path: &[NodeId],
+    section: &str,
+) -> Result<(), MassfError> {
     let nodes = shared.net.node_count();
     let bad = |reason: String| MassfError::SnapshotCorrupt {
         section: section.to_owned(),
@@ -892,19 +1025,75 @@ pub fn validate_net_event(
                 return Err(bad(format!("traffic event to unknown node {}", dst.0)));
             }
         }
-        NetEvent::Fault { kind } => match *kind {
-            FaultKind::LinkDown(l) | FaultKind::LinkUp(l) => {
-                if l.index() >= shared.net.links.len() {
-                    return Err(bad(format!("fault event on unknown link {}", l.0)));
-                }
+        NetEvent::Fault { kind } => validate_fault_kind(shared, kind)?,
+        NetEvent::FluidStart { src, dst, .. } => {
+            if src.index() >= nodes || dst.index() >= nodes {
+                return Err(bad(format!(
+                    "fluid start between unknown nodes {} → {}",
+                    src.0, dst.0
+                )));
             }
-            FaultKind::RouterCrash(n) | FaultKind::RouterRecover(n) => {
-                if n.index() >= nodes {
-                    return Err(bad(format!("fault event on unknown node {}", n.0)));
-                }
+            if target != LpId(FLUID_COORDINATOR.0) {
+                return Err(bad("fluid start not targeting the coordinator LP".into()));
             }
-            FaultKind::AsAdjacencyFail { .. } | FaultKind::AsAdjacencyRestore { .. } => {}
-        },
+        }
+        NetEvent::FluidFinish { .. } => {
+            if target != LpId(FLUID_COORDINATOR.0) {
+                return Err(bad("fluid finish not targeting the coordinator LP".into()));
+            }
+        }
+        NetEvent::FluidFault { kind } => {
+            validate_fault_kind(shared, kind)?;
+            if target != LpId(FLUID_COORDINATOR.0) {
+                return Err(bad("fluid fault not targeting the coordinator LP".into()));
+            }
+        }
+        NetEvent::FluidCapUpdate { slot, .. } => {
+            if *slot as usize >= shared.net.links.len() * 2 {
+                return Err(bad(format!("fluid cap update on unknown slot {slot}")));
+            }
+            // Cap updates must land where the slot's packets serialize;
+            // `transmit` indexes the coupling arrays blindly there.
+            let sender = crate::fluid::slot_sender(shared, *slot);
+            if target != LpId(sender.0) {
+                return Err(bad(format!(
+                    "fluid cap update for slot {slot} not targeting its sender LP"
+                )));
+            }
+        }
+        NetEvent::FluidPacketLoad { slot, .. } => {
+            if *slot as usize >= shared.net.links.len() * 2 {
+                return Err(bad(format!("fluid packet load on unknown slot {slot}")));
+            }
+            if target != LpId(FLUID_COORDINATOR.0) {
+                return Err(bad(
+                    "fluid packet load not targeting the coordinator LP".into()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Shared fault-kind range checks for [`NetEvent::Fault`] and
+/// [`NetEvent::FluidFault`].
+fn validate_fault_kind(shared: &SharedNet, kind: &FaultKind) -> Result<(), MassfError> {
+    let bad = |reason: String| MassfError::SnapshotCorrupt {
+        section: "events".into(),
+        reason,
+    };
+    match *kind {
+        FaultKind::LinkDown(l) | FaultKind::LinkUp(l) => {
+            if l.index() >= shared.net.links.len() {
+                return Err(bad(format!("fault event on unknown link {}", l.0)));
+            }
+        }
+        FaultKind::RouterCrash(n) | FaultKind::RouterRecover(n) => {
+            if n.index() >= shared.net.node_count() {
+                return Err(bad(format!("fault event on unknown node {}", n.0)));
+            }
+        }
+        FaultKind::AsAdjacencyFail { .. } | FaultKind::AsAdjacencyRestore { .. } => {}
     }
     Ok(())
 }
@@ -984,6 +1173,70 @@ impl WorldState {
                     })
             })
             .collect::<Result<Vec<_>, _>>()?;
+
+        // Fluid coordinator state comes from the partition owning the
+        // coordinator LP; everyone else must have exported it empty.
+        let fluid_owner = assignment
+            .get(FLUID_COORDINATOR.index())
+            .map(|&p| p as usize);
+        let fluid = match fluid_owner {
+            Some(owner) => parts.get(owner).map(|p| p.fluid.clone()).ok_or_else(|| {
+                misuse(format!(
+                    "fluid coordinator assigned to missing partition {owner}"
+                ))
+            })?,
+            None => FluidWorldState::default(),
+        };
+        for (i, p) in parts.iter().enumerate() {
+            if fluid_owner != Some(i) && !p.fluid.is_empty() {
+                return Err(misuse(format!(
+                    "partition {i} exported fluid coordinator state it does not own"
+                )));
+            }
+        }
+        // Packet-side coupling arrays: each partition advances only the
+        // slots whose sender node it owns and leaves the rest at their
+        // defaults, so min-merge (MAX-default fields) / max-merge
+        // (0-default fields) reconstructs the full arrays exactly.
+        let slots = busy_until.len();
+        let arrays_len_ok = |v: usize| -> bool { v == 0 || v == slots };
+        for (i, p) in parts.iter().enumerate() {
+            if !arrays_len_ok(p.fluid_seen_bps.len())
+                || p.fluid_est_start.len() != p.fluid_seen_bps.len()
+                || p.fluid_est_bytes.len() != p.fluid_seen_bps.len()
+                || p.fluid_est_reported.len() != p.fluid_seen_bps.len()
+            {
+                return Err(misuse(format!(
+                    "partition {i} fluid coupling arrays have inconsistent lengths"
+                )));
+            }
+        }
+        let any_coupling = parts.iter().any(|p| !p.fluid_seen_bps.is_empty());
+        let (mut seen, mut est_start, mut est_bytes, mut est_reported) = if any_coupling {
+            (
+                vec![u64::MAX; slots],
+                vec![SimTime::MAX; slots],
+                vec![0u64; slots],
+                vec![0u64; slots],
+            )
+        } else {
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new())
+        };
+        for p in parts {
+            for (a, b) in seen.iter_mut().zip(&p.fluid_seen_bps) {
+                *a = (*a).min(*b);
+            }
+            for (a, b) in est_start.iter_mut().zip(&p.fluid_est_start) {
+                *a = (*a).min(*b);
+            }
+            for (a, b) in est_bytes.iter_mut().zip(&p.fluid_est_bytes) {
+                *a = (*a).max(*b);
+            }
+            for (a, b) in est_reported.iter_mut().zip(&p.fluid_est_reported) {
+                *a = (*a).max(*b);
+            }
+        }
+
         Ok(WorldState {
             flow_counter,
             busy_until,
@@ -995,6 +1248,11 @@ impl WorldState {
             },
             profile,
             max_retries: first.max_retries,
+            fluid,
+            fluid_seen_bps: seen,
+            fluid_est_start: est_start,
+            fluid_est_bytes: est_bytes,
+            fluid_est_reported: est_reported,
         })
     }
 }
@@ -1045,7 +1303,36 @@ impl<A: AppLogic> NetWorld<A> {
             route_cache: s.route_cache.export_state(),
             profile: self.profile.clone(),
             max_retries: s.max_retries,
+            fluid: s
+                .fluid
+                .as_deref()
+                .map(FluidState::export)
+                .unwrap_or_default(),
+            fluid_seen_bps: s.coupling.fluid_bps.clone(),
+            fluid_est_start: s.coupling.est_start.clone(),
+            fluid_est_bytes: s.coupling.est_bytes.clone(),
+            fluid_est_reported: s.coupling.est_reported.clone(),
         }
+    }
+
+    /// Check the fluid solver's max-min fairness invariants (test
+    /// hook; `Ok` when the world carries no fluid state).
+    #[doc(hidden)]
+    pub fn check_fluid_invariants(&self) -> Result<(), String> {
+        match self.state.fluid.as_deref() {
+            Some(fl) => fl.check_invariants(),
+            None => Ok(()),
+        }
+    }
+
+    /// Number of live fluid flows at the coordinator (test hook).
+    #[doc(hidden)]
+    pub fn fluid_live_flows(&self) -> usize {
+        self.state
+            .fluid
+            .as_deref()
+            .map(FluidState::live_flows)
+            .unwrap_or(0)
     }
 
     /// Rebuild a full world from a canonical state, for sequential
@@ -1208,6 +1495,58 @@ impl<A: AppLogic> NetWorld<A> {
             }
         }
 
+        // Packet-side fluid coupling: all four arrays empty (never
+        // subscribed) or all 2·links long. A partition keeps only the
+        // slots whose sending node it owns; the rest revert to their
+        // defaults so the later min/max merge is exact.
+        if state.fluid_seen_bps.len() != state.fluid_est_start.len()
+            || state.fluid_seen_bps.len() != state.fluid_est_bytes.len()
+            || state.fluid_seen_bps.len() != state.fluid_est_reported.len()
+        {
+            return Err(bad("fluid coupling arrays have inconsistent lengths".into()));
+        }
+        if !state.fluid_seen_bps.is_empty() && state.fluid_seen_bps.len() != links * 2 {
+            return Err(bad(format!(
+                "fluid coupling covers {} slots, network has {}",
+                state.fluid_seen_bps.len(),
+                links * 2
+            )));
+        }
+        let mut coupling = FluidCoupling {
+            fluid_bps: state.fluid_seen_bps.clone(),
+            est_start: state.fluid_est_start.clone(),
+            est_bytes: state.fluid_est_bytes.clone(),
+            est_reported: state.fluid_est_reported.clone(),
+        };
+        if filter.is_some() {
+            for s in 0..coupling.fluid_bps.len() {
+                // simlint: allow(cast-lossy) -- slot count bounded by 2·links ≤ u32 space
+                if !owned(crate::fluid::slot_sender(&shared, s as u32)) {
+                    coupling.fluid_bps[s] = u64::MAX;
+                    coupling.est_start[s] = SimTime::MAX;
+                    coupling.est_bytes[s] = 0;
+                    coupling.est_reported[s] = 0;
+                }
+            }
+        }
+
+        // Coordinator-side fluid state: loaded only by the coordinator
+        // LP's owner; membership and aggregates are rebuilt, nothing is
+        // emitted (pending alarms ride the event snapshot).
+        let fluid = if !state.fluid.is_empty() && owned(FLUID_COORDINATOR) {
+            if FLUID_COORDINATOR.index() >= nodes {
+                return Err(bad("fluid state without a coordinator node".into()));
+            }
+            let issued = state.flow_counter[FLUID_COORDINATOR.index()];
+            Some(Box::new(FluidState::restore(
+                &shared,
+                &state.fluid,
+                issued,
+            )?))
+        } else {
+            None
+        };
+
         Ok(NetWorld {
             profile: ProfileData::new(nodes, links),
             state: NodeStates {
@@ -1218,6 +1557,8 @@ impl<A: AppLogic> NetWorld<A> {
                 route_cache,
                 action_scratch: Vec::new(),
                 max_retries: state.max_retries,
+                coupling,
+                fluid,
             },
             shared,
             app,
@@ -1258,7 +1599,15 @@ impl<A: AppLogic> Model for NetWorld<A> {
                 }
                 profile.node_packets[node.index()] += 1;
                 if !pkt.at_destination() {
-                    transmit(shared, &mut state.busy_until, profile, out, pkt, now);
+                    transmit(
+                        shared,
+                        &mut state.busy_until,
+                        &mut state.coupling,
+                        profile,
+                        out,
+                        pkt,
+                        now,
+                    );
                     return;
                 }
                 match pkt.kind {
@@ -1277,7 +1626,15 @@ impl<A: AppLogic> Model for NetWorld<A> {
                             hop: 0,
                             kind: PacketKind::Ack,
                         };
-                        transmit(shared, &mut state.busy_until, profile, out, ack_pkt, now);
+                        transmit(
+                            shared,
+                            &mut state.busy_until,
+                            &mut state.coupling,
+                            profile,
+                            out,
+                            ack_pkt,
+                            now,
+                        );
                     }
                     PacketKind::Ack => {
                         let Some(slot) = state.flows.slot_of(node, pkt.flow) else {
@@ -1292,6 +1649,7 @@ impl<A: AppLogic> Model for NetWorld<A> {
                         let outcome = apply_actions(
                             shared,
                             &mut state.busy_until,
+                            &mut state.coupling,
                             profile,
                             out,
                             pkt.flow,
@@ -1386,6 +1744,7 @@ impl<A: AppLogic> Model for NetWorld<A> {
                 let outcome = apply_actions(
                     shared,
                     &mut state.busy_until,
+                    &mut state.coupling,
                     profile,
                     out,
                     flow,
@@ -1461,7 +1820,15 @@ impl<A: AppLogic> Model for NetWorld<A> {
                     hop: 0,
                     kind: PacketKind::Datagram,
                 };
-                transmit(shared, &mut state.busy_until, profile, out, pkt, now);
+                transmit(
+                    shared,
+                    &mut state.busy_until,
+                    &mut state.coupling,
+                    profile,
+                    out,
+                    pkt,
+                    now,
+                );
             }
             NetEvent::Fault { kind: _kind } => {
                 profile.fault_events += 1;
@@ -1471,6 +1838,72 @@ impl<A: AppLogic> Model for NetWorld<A> {
                 // epoch, whichever partition triggers it first.
                 if let Some(f) = &shared.faults {
                     f.reconverge_at(now);
+                }
+            }
+            NetEvent::FluidStart {
+                src,
+                dst,
+                bytes,
+                peak_bps,
+            } => {
+                // Coordinator state is allocated on first use so
+                // packet-only scenarios never pay for it.
+                let fl = state
+                    .fluid
+                    .get_or_insert_with(|| Box::new(FluidState::new(shared)));
+                fl.start(
+                    shared,
+                    now,
+                    src,
+                    dst,
+                    bytes,
+                    peak_bps,
+                    &mut state.flow_counter[FLUID_COORDINATOR.index()],
+                    profile,
+                    out,
+                );
+            }
+            NetEvent::FluidFinish { flow, epoch } => {
+                let Some(fl) = state.fluid.as_deref_mut() else {
+                    return;
+                };
+                if let Some((src, dst)) = fl.finish(shared, now, flow, epoch, profile, out) {
+                    let mut api = SimApi {
+                        host: node,
+                        now,
+                        shared,
+                        state,
+                        profile,
+                        emitter: out,
+                    };
+                    app.on_fluid_complete(src, flow, dst, &mut api);
+                }
+            }
+            NetEvent::FluidFault { kind } => {
+                let Some(fl) = state.fluid.as_deref_mut() else {
+                    return;
+                };
+                let aborted = fl.fault(shared, now, kind, profile, out);
+                for (flow, src, dst) in aborted {
+                    let mut api = SimApi {
+                        host: node,
+                        now,
+                        shared,
+                        state,
+                        profile,
+                        emitter: out,
+                    };
+                    app.on_fluid_aborted(src, flow, dst, &mut api);
+                }
+            }
+            NetEvent::FluidCapUpdate { slot, fluid_bps } => {
+                state
+                    .coupling
+                    .subscribe(shared.net.links.len() * 2, slot, fluid_bps);
+            }
+            NetEvent::FluidPacketLoad { slot, bps } => {
+                if let Some(fl) = state.fluid.as_deref_mut() {
+                    fl.packet_load(shared, now, slot, bps, profile, out);
                 }
             }
         }

@@ -15,8 +15,8 @@
 use crate::wire::{ByteReader, ByteWriter};
 use massf_engine::{EventRecord, LpId, ResumeState, SimTime};
 use massf_netsim::{
-    FaultKind, FlowEntryState, FlowId, NetEvent, Packet, PacketKind, ProfileData,
-    ReceiverEntryState, TcpSenderState, WorldState,
+    FaultKind, FlowEntryState, FlowId, FluidFlowEntryState, FluidStats, FluidWorldState, NetEvent,
+    Packet, PacketKind, ProfileData, ReceiverEntryState, TcpSenderState, WorldState,
 };
 use massf_routing::{RouteCacheEntryState, RouteCacheShardState, RouteCacheState, RouteCacheStats};
 use massf_topology::{LinkId, MassfError, NodeId};
@@ -89,6 +89,17 @@ fn get_u64s(r: &mut ByteReader) -> Result<Vec<u64>, MassfError> {
         out.push(r.get_u64()?);
     }
     Ok(out)
+}
+
+fn put_u128(w: &mut ByteWriter, v: u128) {
+    w.put_u64((v >> 64) as u64);
+    w.put_u64(v as u64);
+}
+
+fn get_u128(r: &mut ByteReader) -> Result<u128, MassfError> {
+    let hi = r.get_u64()? as u128;
+    let lo = r.get_u64()? as u128;
+    Ok((hi << 64) | lo)
 }
 
 fn put_u32s(w: &mut ByteWriter, vs: &[u32]) {
@@ -227,6 +238,37 @@ pub fn put_net_event(w: &mut ByteWriter, ev: &NetEvent) {
             w.put_u8(5);
             put_fault_kind(w, *kind);
         }
+        NetEvent::FluidStart {
+            src,
+            dst,
+            bytes,
+            peak_bps,
+        } => {
+            w.put_u8(6);
+            w.put_u32(src.0);
+            w.put_u32(dst.0);
+            w.put_u64(*bytes);
+            w.put_u64(*peak_bps);
+        }
+        NetEvent::FluidFinish { flow, epoch } => {
+            w.put_u8(7);
+            w.put_u64(flow.0);
+            w.put_u32(*epoch);
+        }
+        NetEvent::FluidFault { kind } => {
+            w.put_u8(8);
+            put_fault_kind(w, *kind);
+        }
+        NetEvent::FluidCapUpdate { slot, fluid_bps } => {
+            w.put_u8(9);
+            w.put_u32(*slot);
+            w.put_u64(*fluid_bps);
+        }
+        NetEvent::FluidPacketLoad { slot, bps } => {
+            w.put_u8(10);
+            w.put_u32(*slot);
+            w.put_u64(*bps);
+        }
     }
 }
 
@@ -251,6 +293,27 @@ pub fn get_net_event(r: &mut ByteReader) -> Result<NetEvent, MassfError> {
         },
         5 => NetEvent::Fault {
             kind: get_fault_kind(r)?,
+        },
+        6 => NetEvent::FluidStart {
+            src: NodeId(r.get_u32()?),
+            dst: NodeId(r.get_u32()?),
+            bytes: r.get_u64()?,
+            peak_bps: r.get_u64()?,
+        },
+        7 => NetEvent::FluidFinish {
+            flow: FlowId(r.get_u64()?),
+            epoch: r.get_u32()?,
+        },
+        8 => NetEvent::FluidFault {
+            kind: get_fault_kind(r)?,
+        },
+        9 => NetEvent::FluidCapUpdate {
+            slot: r.get_u32()?,
+            fluid_bps: r.get_u64()?,
+        },
+        10 => NetEvent::FluidPacketLoad {
+            slot: r.get_u32()?,
+            bps: r.get_u64()?,
         },
         other => return Err(r.corrupt(format!("unknown event kind {other}"))),
     })
@@ -446,6 +509,81 @@ fn get_shard(r: &mut ByteReader) -> Result<RouteCacheShardState, MassfError> {
     })
 }
 
+fn put_fluid_flow_entry(w: &mut ByteWriter, f: &FluidFlowEntryState) {
+    w.put_u64(f.flow.0);
+    put_nodes(w, &f.path);
+    w.put_u64(f.demand_bps);
+    w.put_u64(f.rate_bps);
+    w.put_u64(f.armed_rate_bps);
+    put_u128(w, f.remaining_bns);
+    put_time(w, f.updated);
+    w.put_u32(f.epoch);
+}
+
+fn get_fluid_flow_entry(r: &mut ByteReader) -> Result<FluidFlowEntryState, MassfError> {
+    Ok(FluidFlowEntryState {
+        flow: FlowId(r.get_u64()?),
+        path: get_nodes(r)?,
+        demand_bps: r.get_u64()?,
+        rate_bps: r.get_u64()?,
+        armed_rate_bps: r.get_u64()?,
+        remaining_bns: get_u128(r)?,
+        updated: get_time(r)?,
+        epoch: r.get_u32()?,
+    })
+}
+
+fn put_fluid_world(w: &mut ByteWriter, s: &FluidWorldState) {
+    w.put_count(s.flows.len());
+    for f in &s.flows {
+        put_fluid_flow_entry(w, f);
+    }
+    put_u64s(w, &s.packet_bps);
+    put_u64s(w, &s.reported_bps);
+}
+
+fn get_fluid_world(r: &mut ByteReader) -> Result<FluidWorldState, MassfError> {
+    // A fluid flow entry is at least 68 bytes (no path nodes).
+    let n = r.get_count(68)?;
+    let mut flows = Vec::with_capacity(n);
+    for _ in 0..n {
+        flows.push(get_fluid_flow_entry(r)?);
+    }
+    Ok(FluidWorldState {
+        flows,
+        packet_bps: get_u64s(r)?,
+        reported_bps: get_u64s(r)?,
+    })
+}
+
+fn put_fluid_stats(w: &mut ByteWriter, s: &FluidStats) {
+    w.put_u64(s.started);
+    w.put_u64(s.completed);
+    w.put_u64(s.aborted);
+    w.put_u64(s.rerouted);
+    w.put_u64(s.unroutable);
+    w.put_u64(s.rate_recomputes);
+    w.put_u64(s.bottleneck_recomputes);
+    w.put_u64(s.finish_arms);
+    w.put_u64(s.cap_updates);
+    w.put_u64(s.packet_load_updates);
+}
+
+fn get_fluid_stats(r: &mut ByteReader) -> Result<FluidStats, MassfError> {
+    Ok(FluidStats {
+        started: r.get_u64()?,
+        completed: r.get_u64()?,
+        aborted: r.get_u64()?,
+        rerouted: r.get_u64()?,
+        unroutable: r.get_u64()?,
+        rate_recomputes: r.get_u64()?,
+        bottleneck_recomputes: r.get_u64()?,
+        finish_arms: r.get_u64()?,
+        cap_updates: r.get_u64()?,
+        packet_load_updates: r.get_u64()?,
+    })
+}
+
 fn put_profile(w: &mut ByteWriter, p: &ProfileData) {
     put_u64s(w, &p.node_packets);
     put_u64s(w, &p.link_packets);
@@ -459,6 +597,7 @@ fn put_profile(w: &mut ByteWriter, p: &ProfileData) {
     w.put_u64(p.route_cache.hits);
     w.put_u64(p.route_cache.misses);
     w.put_u64(p.route_cache.evictions);
+    put_fluid_stats(w, &p.fluid);
 }
 
 fn get_profile(r: &mut ByteReader) -> Result<ProfileData, MassfError> {
@@ -477,6 +616,7 @@ fn get_profile(r: &mut ByteReader) -> Result<ProfileData, MassfError> {
             misses: r.get_u64()?,
             evictions: r.get_u64()?,
         },
+        fluid: get_fluid_stats(r)?,
     })
 }
 
@@ -497,6 +637,14 @@ pub fn put_world_state(w: &mut ByteWriter, s: &WorldState) {
     put_route_cache(w, &s.route_cache);
     put_profile(w, &s.profile);
     w.put_u32(s.max_retries);
+    put_fluid_world(w, &s.fluid);
+    put_u64s(w, &s.fluid_seen_bps);
+    w.put_count(s.fluid_est_start.len());
+    for &t in &s.fluid_est_start {
+        put_time(w, t);
+    }
+    put_u64s(w, &s.fluid_est_bytes);
+    put_u64s(w, &s.fluid_est_reported);
 }
 
 pub fn get_world_state(r: &mut ByteReader) -> Result<WorldState, MassfError> {
@@ -520,6 +668,15 @@ pub fn get_world_state(r: &mut ByteReader) -> Result<WorldState, MassfError> {
     let route_cache = get_route_cache(r)?;
     let profile = get_profile(r)?;
     let max_retries = r.get_u32()?;
+    let fluid = get_fluid_world(r)?;
+    let fluid_seen_bps = get_u64s(r)?;
+    let en = r.get_count(8)?;
+    let mut fluid_est_start = Vec::with_capacity(en);
+    for _ in 0..en {
+        fluid_est_start.push(get_time(r)?);
+    }
+    let fluid_est_bytes = get_u64s(r)?;
+    let fluid_est_reported = get_u64s(r)?;
     Ok(WorldState {
         flow_counter,
         busy_until,
@@ -528,6 +685,11 @@ pub fn get_world_state(r: &mut ByteReader) -> Result<WorldState, MassfError> {
         route_cache,
         profile,
         max_retries,
+        fluid,
+        fluid_seen_bps,
+        fluid_est_start,
+        fluid_est_bytes,
+        fluid_est_reported,
     })
 }
 
@@ -570,6 +732,27 @@ mod tests {
             },
             NetEvent::Fault {
                 kind: FaultKind::LinkDown(LinkId(6)),
+            },
+            NetEvent::FluidStart {
+                src: NodeId(1),
+                dst: NodeId(9),
+                bytes: 10_000_000,
+                peak_bps: 0,
+            },
+            NetEvent::FluidFinish {
+                flow: FlowId::new(NodeId(0), 3),
+                epoch: 2,
+            },
+            NetEvent::FluidFault {
+                kind: FaultKind::RouterCrash(NodeId(4)),
+            },
+            NetEvent::FluidCapUpdate {
+                slot: 13,
+                fluid_bps: 125_000_000,
+            },
+            NetEvent::FluidPacketLoad {
+                slot: 12,
+                bps: 42_000,
             },
         ]
     }
@@ -622,9 +805,58 @@ mod tests {
 
     #[test]
     fn unknown_discriminants_are_rejected() {
-        for bad in [vec![9u8], vec![5u8, 77]] {
+        for bad in [vec![11u8], vec![200u8], vec![5u8, 77]] {
             let mut r = ByteReader::new(&bad, "engine");
             assert!(get_net_event(&mut r).is_err(), "{bad:?} must not decode");
+        }
+    }
+
+    #[test]
+    fn fluid_world_state_round_trips() {
+        let state = FluidWorldState {
+            flows: vec![
+                FluidFlowEntryState {
+                    flow: FlowId::new(NodeId(0), 0),
+                    path: vec![NodeId(2), NodeId(0), NodeId(5)],
+                    demand_bps: u64::MAX,
+                    rate_bps: 125_000,
+                    armed_rate_bps: 125_000,
+                    remaining_bns: 1_000_000_000_000_000_000_000u128,
+                    updated: SimTime::from_ms(25),
+                    epoch: 3,
+                },
+                FluidFlowEntryState {
+                    flow: FlowId::new(NodeId(0), 7),
+                    path: vec![NodeId(1), NodeId(4)],
+                    demand_bps: 10_000,
+                    rate_bps: 0,
+                    armed_rate_bps: 0,
+                    remaining_bns: 42,
+                    updated: SimTime::ZERO,
+                    epoch: 0,
+                },
+            ],
+            packet_bps: vec![0, 5_000, 0, 0],
+            reported_bps: vec![u64::MAX, 125_000, u64::MAX, 0],
+        };
+        let mut w = ByteWriter::new();
+        put_fluid_world(&mut w, &state);
+        let buf = w.into_inner();
+        let mut r = ByteReader::new(&buf, "fluid");
+        let back = get_fluid_world(&mut r).expect("decode");
+        r.finish().expect("consumed");
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn u128_round_trips_both_halves() {
+        for v in [0u128, 1, u64::MAX as u128, u128::MAX, 1u128 << 64] {
+            let mut w = ByteWriter::new();
+            put_u128(&mut w, v);
+            let buf = w.into_inner();
+            let mut r = ByteReader::new(&buf, "fluid");
+            assert_eq!(get_u128(&mut r).expect("decode"), v);
+            r.finish().expect("consumed");
         }
     }
 

@@ -4,8 +4,9 @@
 #
 #   scripts/check.sh          full gate (including the release-mode
 #                             fault_flap_study, route_resolution,
-#                             engine_hotpath, mem_footprint and
-#                             checkpoint_study smoke runs)
+#                             engine_hotpath, mem_footprint,
+#                             checkpoint_study and fluid_scaling
+#                             smoke runs)
 #   scripts/check.sh --fast   skip the release-mode smoke runs
 #
 # Each stage is wall-clock timed; a summary table prints at the end.
@@ -65,6 +66,8 @@ if [ "$FAST" -eq 0 ]; then
         cargo run --release -q -p massf-bench --features alloc-count --bin mem_footprint -- --smoke
     stage "checkpoint_study --smoke" \
         cargo run --release -q -p massf-bench --bin checkpoint_study -- --smoke
+    stage "fluid_scaling --smoke" \
+        cargo run --release -q -p massf-bench --bin fluid_scaling -- --smoke
 else
     echo "== release-mode smoke runs skipped (--fast) =="
 fi
