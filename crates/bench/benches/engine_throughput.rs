@@ -7,7 +7,7 @@
 //! partition counts (this host is single-core, so parallel numbers
 //! measure engine overhead, not speedup).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use massf_core::prelude::*;
 use massf_netsim::{Agent, NetSimBuilder, NoApp};
 use massf_routing::{CostMetric, FlatResolver};
@@ -81,4 +81,63 @@ fn bench_executors(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_executors);
-criterion_main!(benches);
+
+/// `--smoke`: fast self-checking correctness pass for scripts/check.sh.
+/// All three measured executors must produce identical results on the
+/// bench's own workload — the throughput comparison is only meaningful
+/// if they answer the same question.
+fn run_smoke() {
+    let b = builder();
+    let shared = b.shared();
+    let n = shared.lp_count();
+    let end = SimTime::from_secs(1);
+    // simlint: allow(cast-lossy) -- partition index over a tiny smoke net
+    let assignment: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+    let mll = shared
+        .net
+        .links
+        .iter()
+        .filter(|l| assignment[l.a.index()] != assignment[l.b.index()])
+        .map(|l| l.latency_ms)
+        .fold(f64::INFINITY, f64::min);
+    let window = SimTime::from_ms_f64(mll);
+
+    let seq = b.run_sequential(NoApp, end);
+    assert!(
+        seq.stats.total_events > 0,
+        "smoke workload produced no events"
+    );
+    let win = b.run_sequential_windowed(NoApp, end, window, &assignment, 2);
+    assert_eq!(
+        win.stats.total_events, seq.stats.total_events,
+        "windowed executor diverged from sequential"
+    );
+    assert_eq!(
+        win.profile, seq.profile,
+        "windowed profile diverged from sequential"
+    );
+    let par = b.run_parallel(NoApp, end, window, &assignment, 2);
+    assert_eq!(
+        par.stats.total_events, seq.stats.total_events,
+        "parallel executor diverged from sequential"
+    );
+    assert_eq!(
+        par.stats.lp_events, seq.stats.lp_events,
+        "parallel per-LP attribution diverged from sequential"
+    );
+    assert_eq!(
+        par.profile, seq.profile,
+        "parallel profile diverged from sequential"
+    );
+    println!("engine_throughput smoke checks passed");
+}
+
+fn main() {
+    // cargo bench passes harness args like `--bench`; only `--smoke` is
+    // meaningful here, everything else is ignored.
+    if std::env::args().skip(1).any(|a| a == "--smoke") {
+        run_smoke();
+        return;
+    }
+    benches();
+}

@@ -15,6 +15,12 @@
 //! --max-retries N  TCP retry budget before a flow aborts (default: 6);
 //!                  lower it to make flows give up inside a flap window,
 //!                  raise it to ride the outage out
+//! --rebalance-epoch MS      also run the online rebalancer over the
+//!                  faulted scenario at this epoch cadence, starting
+//!                  from the clean-profile HPROF map, and report how
+//!                  much of the flap-induced imbalance it recovers
+//! --rebalance-threshold P   its trigger threshold, permille of perfect
+//!                  balance (default: 1200)
 //! --smoke          tiny network, short run, self-checking (used by
 //!                  scripts/check.sh)
 //! ```
@@ -26,11 +32,13 @@
 
 use massf_bench::{HarnessOptions, MeasuredBarriers};
 use massf_core::prelude::*;
+use massf_engine::RebalanceConfig;
 use massf_netsim::{
     Agent, FaultScript, FaultState, NetSimBuilder, NoApp, ProfileData, SimOutput,
-    FLUID_CONTROL_DELAY, MAX_RETRIES,
+    DEFAULT_ROUTE_CACHE_CAPACITY, FLUID_CONTROL_DELAY, MAX_RETRIES,
 };
 use massf_routing::{CostMetric, FlatResolver};
+use massf_snapshot::{RebalancePolicy, Session};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
@@ -40,6 +48,8 @@ struct StudyOptions {
     flaps: usize,
     down: SimTime,
     max_retries: u32,
+    rebalance_epoch: Option<SimTime>,
+    rebalance_threshold: u64,
     smoke: bool,
 }
 
@@ -49,6 +59,8 @@ fn parse_extra(harness: HarnessOptions, rest: Vec<String>) -> StudyOptions {
         flaps: 12,
         down: SimTime::from_ms(2000),
         max_retries: MAX_RETRIES,
+        rebalance_epoch: None,
+        rebalance_threshold: 1200,
         smoke: false,
     };
     let mut iter = rest.into_iter();
@@ -85,9 +97,29 @@ fn parse_extra(harness: HarnessOptions, rest: Vec<String>) -> StudyOptions {
                     )),
                 };
             }
+            "--rebalance-epoch" => {
+                let v = value("--rebalance-epoch");
+                opts.rebalance_epoch = match v.parse::<u64>() {
+                    Ok(ms) if ms > 0 => Some(SimTime::from_ms(ms)),
+                    _ => HarnessOptions::usage_exit(&format!(
+                        "--rebalance-epoch must be a positive number of ms, got {v:?}"
+                    )),
+                };
+            }
+            "--rebalance-threshold" => {
+                let v = value("--rebalance-threshold");
+                opts.rebalance_threshold = match v.parse() {
+                    Ok(p) if p >= 1000 => p,
+                    _ => HarnessOptions::usage_exit(&format!(
+                        "--rebalance-threshold is permille of perfect balance and must be \
+                         >= 1000, got {v:?}"
+                    )),
+                };
+            }
             "--smoke" => opts.smoke = true,
             other => HarnessOptions::usage_exit(&format!(
-                "unknown argument {other:?} (extra flags: --flaps/--down-ms/--max-retries/--smoke)"
+                "unknown argument {other:?} (extra flags: --flaps/--down-ms/--max-retries/\
+                 --rebalance-epoch/--rebalance-threshold/--smoke)"
             )),
         }
     }
@@ -147,6 +179,8 @@ fn main() {
     if opts.smoke {
         opts.harness.scale = Scale::Tiny;
         opts.flaps = opts.flaps.min(4);
+        // Exercise the online-rebalance reporting path in CI.
+        opts.rebalance_epoch = Some(opts.rebalance_epoch.unwrap_or(SimTime::from_ms(2000)));
     } else if !scale_given {
         opts.harness.scale = Scale::Medium;
     }
@@ -389,6 +423,88 @@ fn main() {
     );
     println!("  imbalance (clean-profile map, faulted load):   {imb_clean:.4}");
     println!("  imbalance (faulted-profile map, faulted load): {imb_fault:.4}");
+
+    // Online rebalancing over the faulted scenario: start from the
+    // mapping HPROF computed at deployment time (the clean profile) and
+    // let the epoch-cadenced rebalancer chase the flap-induced load
+    // shift. The static row runs the identical driver with the trigger
+    // pinned off (threshold u64::MAX), so the comparison shares the
+    // exact epoch segmentation. See rebalance_study for the full sweep.
+    if let Some(epoch) = opts.rebalance_epoch {
+        let adaptive_policy = RebalancePolicy {
+            cfg: RebalanceConfig {
+                epoch,
+                threshold_permille: opts.rebalance_threshold,
+                ..RebalanceConfig::default()
+            },
+            ..RebalancePolicy::default()
+        };
+        let static_policy = RebalancePolicy {
+            cfg: RebalanceConfig {
+                threshold_permille: u64::MAX,
+                ..adaptive_policy.cfg
+            },
+            ..adaptive_policy
+        };
+        let run_driver = |policy: RebalancePolicy| {
+            let mut builder = NetSimBuilder::new_with_faults(net.clone(), faults.clone());
+            builder.max_retries(opts.max_retries);
+            builder.add_agent(traffic(&hosts, duration, flows, seed));
+            let mut session = Session::new_rebalancing(
+                builder.shared(),
+                builder.initial_events(),
+                DEFAULT_ROUTE_CACHE_CAPACITY,
+                opts.max_retries,
+                policy,
+                map_clean.partition.assignment.clone(),
+            )
+            .expect("valid policy and HPROF assignment");
+            let outcome = session.run_rebalancing(duration).expect("driver runs");
+            let partitions = session
+                .rebalance_state()
+                .expect("rebalancing session")
+                .partitions as usize;
+            (outcome, partitions, session)
+        };
+        eprintln!("# online rebalance, static driver …");
+        let (st, st_parts, _) = run_driver(static_policy);
+        eprintln!("# online rebalance, adaptive driver …");
+        let (ad, ad_parts, ad_session) = run_driver(adaptive_policy);
+        println!();
+        println!(
+            "online rebalance ({engines} engines, epoch {:.0} ms, threshold {} permille):",
+            epoch.as_ms_f64(),
+            opts.rebalance_threshold
+        );
+        println!(
+            "  max/mean load (permille):  static {} -> adaptive {} ({:.2}x over {} epochs)",
+            st.aggregate_imbalance_permille(st_parts),
+            ad.aggregate_imbalance_permille(ad_parts),
+            st.aggregate_imbalance_permille(st_parts) as f64
+                / ad.aggregate_imbalance_permille(ad_parts).max(1) as f64,
+            ad.epochs
+        );
+        println!(
+            "  rebalances / LP migrations:  {} / {}",
+            ad.rebalances, ad.migrations
+        );
+        println!(
+            "  critical-path events:  static {} -> adaptive {}",
+            st.critical_path_events, ad.critical_path_events
+        );
+        // The rebalancing trajectory answers exactly what the sequential
+        // faulted run answers, migrations and all.
+        assert_eq!(
+            ad_session.total_events(),
+            faulted.stats.total_events,
+            "adaptive rebalancing run diverged from the sequential faulted run"
+        );
+        assert_eq!(
+            ad_session.profile(),
+            &faulted.profile,
+            "adaptive rebalancing profile diverged from the sequential faulted run"
+        );
+    }
 
     if opts.smoke {
         // Self-checks: faults actually fired, losses were tolerated, and

@@ -29,6 +29,11 @@
 //!   [`baseline::run_parallel_locked`] for A/B benchmarking.
 //! * [`synccost`] — the TeraGrid cluster synchronization-cost model of
 //!   the paper's Figure 5, plus a live barrier-cost measurement.
+//! * [`rebalance`] — the online re-partitioning decision layer: epoch
+//!   geometry, deterministic per-partition load folding, and the
+//!   integer-only imbalance trigger that drives mid-run LP migration
+//!   (the move search lives in `massf-partition`, the migration
+//!   transport in the snapshot session layer).
 //!
 //! Determinism: every event carries a `(source LP, per-source counter)`
 //! tag; heaps order by `(time, tag)`. Since handlers only touch target-LP
@@ -43,6 +48,7 @@ pub mod baseline;
 pub mod event;
 pub mod model;
 pub mod par;
+pub mod rebalance;
 pub mod resume;
 pub mod seq;
 pub mod stats;
@@ -55,10 +61,11 @@ pub use massf_topology::MassfError;
 pub use model::{seed_events, Emitter, Model};
 pub use par::{
     run_parallel, try_run_parallel, try_run_parallel_observed, try_run_parallel_resumable,
-    BarrierObserver, NoopBarrierObserver,
+    try_run_parallel_resumable_observed, BarrierObserver, NoopBarrierObserver,
 };
+pub use rebalance::{partition_loads, should_rebalance, RebalanceConfig, RebalanceCounters};
 pub use resume::ResumeState;
 pub use seq::{run_sequential, run_sequential_resumable, run_sequential_windowed};
-pub use stats::{ExecutionStats, TRACE_BUCKETS};
+pub use stats::{imbalance_permille, ExecutionStats, TRACE_BUCKETS};
 pub use synccost::SyncCostModel;
 pub use time::SimTime;

@@ -202,6 +202,34 @@ pub fn try_run_parallel_resumable<M: Model>(
     end_time: SimTime,
     window: SimTime,
 ) -> Result<(Vec<M>, ExecutionStats, ResumeState<M::Event>), MassfError> {
+    try_run_parallel_resumable_observed(
+        shards,
+        lp_count,
+        assignment,
+        resume,
+        end_time,
+        window,
+        &NoopBarrierObserver,
+    )
+}
+
+/// [`try_run_parallel_resumable`] with a [`BarrierObserver`] wrapped
+/// around every barrier wait, so segmented drivers (checkpointing
+/// sessions, the online rebalancer) keep the same wall-clock sync-cost
+/// observability as one-shot [`try_run_parallel_observed`] runs. The
+/// observed waits land in [`ExecutionStats::barrier_wait_us`] and are
+/// measurement output only — never feed them back into simulation
+/// decisions (simlint D5 flags that taint flow).
+#[allow(clippy::too_many_arguments, clippy::type_complexity)] // mirrors the resumable facade + observer
+pub fn try_run_parallel_resumable_observed<M: Model, O: BarrierObserver>(
+    shards: Vec<M>,
+    lp_count: usize,
+    assignment: &[u32],
+    resume: ResumeState<M::Event>,
+    end_time: SimTime,
+    window: SimTime,
+    observer: &O,
+) -> Result<(Vec<M>, ExecutionStats, ResumeState<M::Event>), MassfError> {
     resume.validate(lp_count)?;
     run_parallel_core(
         shards,
@@ -211,7 +239,7 @@ pub fn try_run_parallel_resumable<M: Model>(
         resume.counters,
         end_time,
         window,
-        &NoopBarrierObserver,
+        observer,
         true,
     )
 }

@@ -40,6 +40,14 @@ impl<M> ResumeState<M> {
         }
     }
 
+    /// Earliest pending event time, if any. Because `events` is sorted
+    /// by `(time, tag)`, this is `O(1)`; drivers use it to skip engine
+    /// invocations entirely across empty stretches of virtual time
+    /// (e.g. rebalance epochs in which nothing is scheduled).
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.first().map(|ev| ev.time)
+    }
+
     /// Structural validation against `lp_count`. Rejects anything a
     /// corrupted or handcrafted snapshot could smuggle past the type
     /// system: counter-vector length mismatch, events targeting unknown
@@ -108,6 +116,14 @@ mod tests {
     #[test]
     fn fresh_state_is_valid() {
         assert_eq!(ResumeState::<u8>::fresh(3).validate(3), Ok(()));
+    }
+
+    #[test]
+    fn next_event_time_reads_the_sorted_head() {
+        let mut s = ResumeState::<u8>::fresh(2);
+        assert_eq!(s.next_event_time(), None);
+        s.events = vec![rec(5, external_tag(0), 0), rec(9, external_tag(1), 1)];
+        assert_eq!(s.next_event_time(), Some(SimTime::from_ns(5)));
     }
 
     #[test]

@@ -129,6 +129,31 @@ impl ExecutionStats {
     pub fn total_barrier_wait_us(&self) -> f64 {
         self.barrier_wait_us.iter().sum()
     }
+
+    /// Max/mean load imbalance of `partition_totals` in permille — see
+    /// [`imbalance_permille`]. This is the deterministic load signal a
+    /// rebalancer may act on; never feed `barrier_wait_us` (measured
+    /// wall clock) into simulation decisions.
+    pub fn imbalance_permille(&self) -> u64 {
+        imbalance_permille(&self.partition_totals)
+    }
+}
+
+/// Max/mean load imbalance in permille: `max(loads)·1000·k / Σloads`.
+///
+/// `1000` means perfectly balanced; `k·1000` means all load on one of
+/// `k` parts. Empty or all-zero inputs report `1000` (nothing to
+/// balance). Integer-only by construction (D4-safe): rebalance
+/// decisions thresholded on this value never depend on float
+/// rounding or summation order.
+pub fn imbalance_permille(loads: &[u64]) -> u64 {
+    let k = loads.len() as u64;
+    let total: u64 = loads.iter().sum();
+    if total == 0 {
+        return 1000;
+    }
+    let max = loads.iter().copied().max().unwrap_or(0);
+    (max as u128 * 1000 * k as u128 / total as u128) as u64
 }
 
 /// Streaming accumulator used by the executors to build windowed stats
@@ -309,5 +334,28 @@ mod tests {
         assert_eq!(s.window_count(), 0);
         assert_eq!(s.critical_path_events(), 0);
         assert_eq!(s.total_barrier_wait_us(), 0.0);
+        assert_eq!(s.imbalance_permille(), 1000);
+    }
+
+    #[test]
+    fn imbalance_permille_measures_max_over_mean() {
+        assert_eq!(imbalance_permille(&[]), 1000);
+        assert_eq!(imbalance_permille(&[0, 0, 0]), 1000);
+        assert_eq!(imbalance_permille(&[7, 7, 7, 7]), 1000);
+        // All load on one of four parts: max/mean = 4.
+        assert_eq!(imbalance_permille(&[100, 0, 0, 0]), 4000);
+        // 60/20/20: max/mean = 60/33.33 = 1.8.
+        assert_eq!(imbalance_permille(&[60, 20, 20]), 1800);
+        // Truncation, never rounding up: 2/1 over k=2 → 1333.
+        assert_eq!(imbalance_permille(&[2, 1]), 1333);
+        // u64-scale loads must not overflow the intermediate product.
+        assert_eq!(imbalance_permille(&[u64::MAX / 2, u64::MAX / 2]), 1000);
+    }
+
+    #[test]
+    fn imbalance_permille_reads_partition_totals() {
+        let mut s = ExecutionStats::new(0);
+        s.partition_totals = vec![30, 10];
+        assert_eq!(s.imbalance_permille(), 1500);
     }
 }

@@ -203,6 +203,29 @@ impl SharedNet {
         self.net.node_count()
     }
 
+    /// Largest barrier window safe for running this network in parallel
+    /// under `assignment`: the minimum latency of any link whose
+    /// endpoints land in different partitions (the cut MLL), capped at
+    /// [`FLUID_CONTROL_DELAY`] so fluid-coordinator control events are
+    /// always covered regardless of which partition hosts the
+    /// coordinator. With no cut links (e.g. a single partition) the cap
+    /// alone applies. The window affects only synchronization frequency,
+    /// never results, so callers (the online rebalancer recomputes this
+    /// after every migration) may use it freely.
+    pub fn safe_parallel_window(&self, assignment: &[u32]) -> SimTime {
+        let mut mll = f64::INFINITY;
+        for link in &self.net.links {
+            if assignment[link.a.index()] != assignment[link.b.index()] && link.latency_ms < mll {
+                mll = link.latency_ms;
+            }
+        }
+        if mll.is_finite() {
+            SimTime::from_ms_f64(mll).min(FLUID_CONTROL_DELAY)
+        } else {
+            FLUID_CONTROL_DELAY
+        }
+    }
+
     /// Link ids incident to `node` (CSR range; each id appears once per
     /// adjacency entry). Used by the fluid coordinator to localize a
     /// router crash to the flows traversing it.

@@ -16,6 +16,9 @@
 //!   alternative.
 //! * [`baselines`] — the comparison partitioners from the paper's related
 //!   work: random assignment and the ModelNet greedy k-cluster algorithm.
+//! * [`rebalance`] — RNG-free incremental re-partitioning: bounded
+//!   Kurve-style local moves that perturb an existing assignment against
+//!   a combined load²+cut cost, for online load balancing mid-run.
 //! * [`UnionFind`] — used here for connectivity and exported for the
 //!   latency-threshold clustering of the hierarchical (HPROF) mapper.
 //!
@@ -29,6 +32,7 @@ pub mod graph;
 pub mod initial;
 pub mod kway;
 pub mod partition;
+pub mod rebalance;
 pub mod refine;
 pub mod unionfind;
 
@@ -36,4 +40,5 @@ pub use baselines::{greedy_kcluster, random_partition};
 pub use graph::WeightedGraph;
 pub use kway::{metis_kway, recursive_bisection, KwayConfig};
 pub use partition::Partition;
+pub use rebalance::{apply_moves, rebalance, Move, RebalanceParams};
 pub use unionfind::UnionFind;

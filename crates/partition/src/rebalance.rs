@@ -1,0 +1,348 @@
+//! Incremental, deterministic re-partitioning of an existing assignment.
+//!
+//! Unlike [`crate::refine`], which minimizes edge-cut under a balance
+//! *constraint* during multilevel partitioning, this module perturbs a
+//! **live** assignment against a single global cost function combining
+//! measured per-vertex load with the cut already modeled by the graph's
+//! edge weights (Kurve-style local moves iterated greedily). It is
+//! RNG-free and integer-only: the same graph, loads, and parameters
+//! always produce the same move list, so an online rebalancer built on
+//! it stays a pure function of simulated state.
+//!
+//! Cost model, all integer arithmetic (`i128` intermediates):
+//!
+//! ```text
+//! cost = load_weight · Σ_p L_p²  +  cut_weight · unit · cut
+//! ```
+//!
+//! where `L_p` is the measured load of part `p` and
+//! `unit = max(1, 2·total_load/k)` scales one cut-weight unit to the
+//! magnitude of a squared-load delta, making the two terms
+//! commensurate. Moving vertex `v` (load `l_v`) from part `s` to `t`
+//! changes the terms by
+//!
+//! ```text
+//! Δ(ΣL²) = 2·l_v·(l_v + L_t − L_s)
+//! Δcut   = conn(v, s) − conn(v, t)
+//! ```
+//!
+//! Each iteration scans every vertex × candidate part, applies the
+//! single best strictly-improving move (ties: lowest vertex, then
+//! lowest target part), and stops at `max_moves` or equilibrium.
+//! Strict improvement guarantees termination; bounded moves cap the
+//! migration cost a caller pays per invocation.
+
+use crate::graph::WeightedGraph;
+
+/// Parameters for [`rebalance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalanceParams {
+    /// Maximum number of vertex moves returned per invocation.
+    pub max_moves: usize,
+    /// Weight on the load-imbalance term (`Σ_p L_p²`).
+    pub load_weight: u64,
+    /// Weight on the edge-cut term (scaled by `unit`, see module docs).
+    pub cut_weight: u64,
+}
+
+impl Default for RebalanceParams {
+    fn default() -> Self {
+        RebalanceParams {
+            max_moves: 64,
+            load_weight: 4,
+            cut_weight: 1,
+        }
+    }
+}
+
+/// One vertex migration proposed by [`rebalance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Move {
+    pub vertex: u32,
+    pub from: u32,
+    pub to: u32,
+}
+
+/// Compute a bounded, strictly cost-improving sequence of single-vertex
+/// moves perturbing `assignment` toward balance under `loads`.
+///
+/// `loads[v]` is the measured load of vertex `v` (e.g. events executed
+/// over the last epoch); `assignment` is the current part per vertex
+/// (all `< k`). The moves are returned in application order and are
+/// **not** applied; use [`apply_moves`]. A part is never emptied, and a
+/// move to a part the vertex has no edge into is only considered for
+/// the globally lightest part (so pure load concentration can still
+/// drain even when the overloaded region is internally connected).
+pub fn rebalance(
+    g: &WeightedGraph,
+    k: usize,
+    assignment: &[u32],
+    loads: &[u64],
+    params: &RebalanceParams,
+) -> Vec<Move> {
+    let n = g.vertex_count();
+    assert_eq!(assignment.len(), n, "assignment length");
+    assert_eq!(loads.len(), n, "loads length");
+    let mut moves = Vec::new();
+    if n == 0 || k <= 1 || params.max_moves == 0 {
+        return moves;
+    }
+
+    let mut part_load = vec![0u64; k];
+    let mut part_count = vec![0usize; k];
+    for (v, &p) in assignment.iter().enumerate() {
+        part_load[p as usize] += loads[v];
+        part_count[p as usize] += 1;
+    }
+    let total_load: u64 = part_load.iter().sum();
+    let unit = (2 * total_load / k as u64).max(1) as i128;
+    let lw = params.load_weight as i128;
+    let cw = params.cut_weight as i128;
+
+    let mut current: Vec<u32> = assignment.to_vec();
+    // Scratch: connection weight of the scanned vertex to each part.
+    let mut conn = vec![0u64; k];
+    let mut touched: Vec<u32> = Vec::new();
+
+    for _ in 0..params.max_moves {
+        // Lightest part is always a candidate target, even with no edge
+        // into it (lowest index on ties — deterministic).
+        let lightest = part_load
+            .iter()
+            .enumerate()
+            .min_by_key(|&(p, &l)| (l, p))
+            .map(|(p, _)| p as u32)
+            .unwrap_or(0);
+
+        // (Δcost, vertex, target) — strictly negative Δcost only; ties
+        // resolved by lowest vertex then lowest target via scan order.
+        let mut best: Option<(i128, u32, u32)> = None;
+        for v in 0..n {
+            let own = current[v] as usize;
+            if part_count[own] <= 1 {
+                continue; // never empty a part
+            }
+            touched.clear();
+            for (u, w) in g.neighbors(v) {
+                let p = current[u] as usize;
+                if conn[p] == 0 {
+                    touched.push(p as u32);
+                }
+                conn[p] += w;
+            }
+            if conn[lightest as usize] == 0 && lightest as usize != own {
+                touched.push(lightest);
+            }
+            let lv = loads[v] as i128;
+            let own_conn = conn[own] as i128;
+            for &t32 in &touched {
+                let t = t32 as usize;
+                if t == own {
+                    continue;
+                }
+                let d_load = 2 * lv * (lv + part_load[t] as i128 - part_load[own] as i128);
+                let d_cut = own_conn - conn[t] as i128;
+                let d_cost = lw * d_load + cw * unit * d_cut;
+                if d_cost < 0 {
+                    let better = match best {
+                        None => true,
+                        Some((bc, bv, bt)) => {
+                            d_cost < bc
+                                || (d_cost == bc
+                                    && ((v as u32) < bv || (v as u32 == bv && t32 < bt)))
+                        }
+                    };
+                    if better {
+                        best = Some((d_cost, v as u32, t32));
+                    }
+                }
+            }
+            for &p in &touched {
+                conn[p as usize] = 0;
+            }
+        }
+
+        let Some((_, v32, t32)) = best else { break };
+        let v = v32 as usize;
+        let own = current[v] as usize;
+        let t = t32 as usize;
+        current[v] = t32;
+        part_load[own] -= loads[v];
+        part_load[t] += loads[v];
+        part_count[own] -= 1;
+        part_count[t] += 1;
+        moves.push(Move {
+            vertex: v32,
+            from: own as u32,
+            to: t32,
+        });
+    }
+    moves
+}
+
+/// Apply a move list produced by [`rebalance`] to an assignment.
+pub fn apply_moves(assignment: &mut [u32], moves: &[Move]) {
+    for m in moves {
+        debug_assert_eq!(assignment[m.vertex as usize], m.from, "stale move list");
+        assignment[m.vertex as usize] = m.to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path of `n` unit-weight vertices with unit edges.
+    fn path(n: u32) -> WeightedGraph {
+        let edges: Vec<(u32, u32, u64)> = (1..n).map(|i| (i - 1, i, 1)).collect();
+        WeightedGraph::from_edges(vec![1; n as usize], &edges)
+    }
+
+    fn max_mean_permille(loads: &[u64], assignment: &[u32], k: usize) -> u64 {
+        let mut part = vec![0u64; k];
+        for (v, &p) in assignment.iter().enumerate() {
+            part[p as usize] += loads[v];
+        }
+        let total: u64 = part.iter().sum();
+        if total == 0 {
+            return 1000;
+        }
+        part.iter().max().copied().unwrap_or(0) * 1000 * k as u64 / total
+    }
+
+    #[test]
+    fn drains_a_hot_part() {
+        // All load on part 0's vertices; rebalance should shed enough to
+        // cut max/mean imbalance sharply.
+        let g = path(12);
+        let assignment = vec![0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1];
+        let loads = vec![100, 100, 100, 100, 100, 100, 1, 1, 1, 1, 1, 1];
+        let before = max_mean_permille(&loads, &assignment, 2);
+        let moves = rebalance(&g, 2, &assignment, &loads, &RebalanceParams::default());
+        assert!(!moves.is_empty());
+        let mut after = assignment.clone();
+        apply_moves(&mut after, &moves);
+        let imb = max_mean_permille(&loads, &after, 2);
+        assert!(imb < before, "no improvement: {imb} vs {before}");
+        assert!(imb <= 1300, "still skewed: {imb} ({after:?})");
+    }
+
+    #[test]
+    fn respects_max_moves() {
+        let g = path(12);
+        let assignment = vec![0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1];
+        let loads = vec![100, 100, 100, 100, 100, 100, 1, 1, 1, 1, 1, 1];
+        let params = RebalanceParams {
+            max_moves: 2,
+            ..RebalanceParams::default()
+        };
+        let moves = rebalance(&g, 2, &assignment, &loads, &params);
+        assert!(moves.len() <= 2);
+    }
+
+    #[test]
+    fn balanced_input_yields_no_moves() {
+        let g = path(12);
+        let assignment = vec![0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1];
+        let loads = vec![10; 12];
+        let moves = rebalance(&g, 2, &assignment, &loads, &RebalanceParams::default());
+        assert!(moves.is_empty(), "{moves:?}");
+    }
+
+    #[test]
+    fn never_empties_a_part() {
+        let g = path(6);
+        // Part 1 holds a single idle vertex; all load in part 0. No move
+        // may take vertex 5 out of part 1.
+        let assignment = vec![0, 0, 0, 0, 0, 1];
+        let loads = vec![50, 50, 50, 50, 50, 0];
+        let moves = rebalance(&g, 2, &assignment, &loads, &RebalanceParams::default());
+        let mut after = assignment.clone();
+        apply_moves(&mut after, &moves);
+        for k in 0..2u32 {
+            assert!(after.contains(&k), "part {k} emptied: {after:?}");
+        }
+    }
+
+    #[test]
+    fn cut_weight_steers_target_choice() {
+        // Vertex 0 is hot and sits in part 0 alongside vertex 1. It has a
+        // heavy edge into part 1 and none into part 2; part 2 is slightly
+        // lighter. With the cut term dominating, the rebalancer must pick
+        // the adjacent part 1 over the lighter non-adjacent part 2.
+        let g =
+            WeightedGraph::from_edges(vec![1; 5], &[(0, 1, 1), (0, 2, 40), (2, 3, 1), (3, 4, 1)]);
+        let assignment = vec![0, 0, 1, 2, 2];
+        let loads = vec![40, 60, 10, 4, 4];
+        let params = RebalanceParams {
+            max_moves: 1,
+            load_weight: 1,
+            cut_weight: 8,
+        };
+        let moves = rebalance(&g, 3, &assignment, &loads, &params);
+        assert_eq!(moves.len(), 1);
+        assert_eq!(
+            moves[0],
+            Move {
+                vertex: 0,
+                from: 0,
+                to: 1
+            }
+        );
+        // And with the cut term silenced the lighter part 2 wins instead.
+        let params = RebalanceParams {
+            max_moves: 1,
+            load_weight: 1,
+            cut_weight: 0,
+        };
+        let moves = rebalance(&g, 3, &assignment, &loads, &params);
+        assert_eq!(moves.len(), 1);
+        assert_eq!(
+            moves[0],
+            Move {
+                vertex: 0,
+                from: 0,
+                to: 2
+            }
+        );
+    }
+
+    #[test]
+    fn non_adjacent_lightest_part_is_reachable() {
+        // Two disconnected hot vertices assigned to part 0, an idle part 1
+        // with no edges from part 0 at all. Load must still drain.
+        let g = WeightedGraph::from_edges(vec![1; 4], &[(0, 1, 5), (2, 3, 5)]);
+        let assignment = vec![0, 0, 1, 1];
+        let loads = vec![80, 80, 1, 1];
+        let moves = rebalance(&g, 2, &assignment, &loads, &RebalanceParams::default());
+        assert!(!moves.is_empty(), "load never drained to non-adjacent part");
+        let mut after = assignment.clone();
+        apply_moves(&mut after, &moves);
+        assert!(max_mean_permille(&loads, &after, 2) < 1900);
+    }
+
+    #[test]
+    fn single_part_and_empty_inputs_are_noops() {
+        let g = path(4);
+        assert!(rebalance(
+            &g,
+            1,
+            &[0, 0, 0, 0],
+            &[9, 9, 9, 9],
+            &RebalanceParams::default()
+        )
+        .is_empty());
+        let empty = WeightedGraph::from_edges(vec![], &[]);
+        assert!(rebalance(&empty, 3, &[], &[], &RebalanceParams::default()).is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_invocations() {
+        let g = path(16);
+        let assignment: Vec<u32> = (0..16).map(|v| v % 3).collect();
+        let loads: Vec<u64> = (0..16u64).map(|v| v * v % 97).collect();
+        let a = rebalance(&g, 3, &assignment, &loads, &RebalanceParams::default());
+        let b = rebalance(&g, 3, &assignment, &loads, &RebalanceParams::default());
+        assert_eq!(a, b);
+    }
+}

@@ -215,6 +215,9 @@ impl Rule {
                  D1–D3 flag nondeterministic *reads* at the site of the read. D5 tracks\n\
                  the value afterwards: within each fn body, identifiers bound from\n\
                  wall-clock / entropy / hash-iteration / pointer-address expressions\n\
+                 — including measured barrier waits (barrier_wait_us,\n\
+                 total_barrier_wait_us), which are wall-clock readings even though\n\
+                 they sit in ExecutionStats next to deterministic counters —\n\
                  are tainted, taint propagates through let bindings and (compound)\n\
                  assignments to a fixpoint, and a violation fires only where a tainted\n\
                  value reaches a simulation-state sink: SimTime constructors (from_ns,\n\
@@ -871,7 +874,7 @@ fn scan_float_order(
 }
 
 /// Nondeterminism sources D5 tracks by bare identifier.
-const TAINT_SOURCE_IDENTS: [(&str, &str); 8] = [
+const TAINT_SOURCE_IDENTS: [(&str, &str); 10] = [
     ("SystemTime", "wall clock"),
     ("UNIX_EPOCH", "wall clock"),
     ("elapsed", "wall clock"),
@@ -880,6 +883,15 @@ const TAINT_SOURCE_IDENTS: [(&str, &str); 8] = [
     ("OsRng", "OS entropy"),
     ("getrandom", "OS entropy"),
     ("addr_of", "pointer address"),
+    // Measured barrier-wait times are wall-clock quantities even though
+    // they live in ExecutionStats next to deterministic counters: they
+    // vary with host load and thread scheduling. Feeding them back into
+    // the simulation (e.g. as a rebalance signal) breaks bit-identity.
+    ("barrier_wait_us", "measured barrier wait (wall clock)"),
+    (
+        "total_barrier_wait_us",
+        "measured barrier wait (wall clock)",
+    ),
 ];
 
 /// Simulation-state sinks: a tainted value passed to one of these calls

@@ -169,6 +169,24 @@ fn d5_taint_fixture() {
 }
 
 #[test]
+fn d5_barrier_wait_fixture() {
+    let found = scan_fixture("d5_barrier_wait.rs", "engine");
+    // Only the taint rule fires: barrier waits are not Instant/SystemTime
+    // reads, so D2 stays silent at the source lines.
+    assert!(
+        found.iter().all(|(r, _)| *r == Rule::DeterminismTaint),
+        "{found:?}"
+    );
+    let lines: Vec<u32> = found.iter().map(|(_, l)| *l).collect();
+    // from_us sink, schedule_at sink, `.seed =` field sink; the
+    // deterministic partition_totals decision and the report-only wait
+    // read stay silent.
+    assert_eq!(lines, vec![10, 11, 16], "{found:?}");
+    // bench may measure whatever it likes.
+    assert!(scan_fixture("d5_barrier_wait.rs", "bench").is_empty());
+}
+
+#[test]
 fn d5_bench_crate_is_exempt() {
     let found = scan_fixture("d5_taint.rs", "bench");
     assert!(

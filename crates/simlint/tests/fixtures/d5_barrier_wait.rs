@@ -1,0 +1,32 @@
+//! D5 fixture: measured barrier-wait times (`barrier_wait_us`,
+//! `total_barrier_wait_us`) are wall-clock readings even though they
+//! live in `ExecutionStats` next to deterministic counters. They may
+//! be reported, but must never steer simulation inputs — that breaks
+//! bit-identity across hosts and thread schedules.
+
+pub fn wait_steers_event_time(stats: &ExecutionStats, q: &mut EventQueue, ev: Event) {
+    let stall = stats.total_barrier_wait_us(); // tainted: measured wall clock
+    let backoff = stall / 1_000 + 1; // taint propagates: backoff <- stall
+    let t = SimTime::from_us(backoff); // line 10: D5 at the from_us sink
+    q.schedule_at(t, ev); // line 11: D5 again — `t` carries the taint
+}
+
+pub fn per_round_wait_becomes_seed(stats: &ExecutionStats, world: &mut World) {
+    let widest = slice_max(&stats.barrier_wait_us); // tainted: per-round wall clock
+    world.cfg.seed = widest; // line 16: D5 at the `.seed =` field sink
+}
+
+// Shapes that must NOT fire: deterministic load signals may steer the
+// decision, and measured waits may be observed for reporting.
+
+pub fn totals_steer_the_decision(stats: &ExecutionStats, plan: &mut RebalancePlan) {
+    let loads = stats.partition_totals(); // deterministic event counts
+    if imbalance_permille(&loads) > plan.threshold_permille {
+        plan.queue_moves(&loads);
+    }
+}
+
+pub fn waits_reported_not_replayed(stats: &ExecutionStats, report: &mut Report) {
+    let stall = stats.total_barrier_wait_us(); // tainted, but…
+    report.wall_stall_us = stall; // …`.wall_stall_us` is not a sim input
+}

@@ -22,7 +22,9 @@
 //! scenario is refused up front instead of silently diverging.
 
 use crate::codec;
-use crate::format::{self, Section, SECTION_ENGINE, SECTION_META, SECTION_STATS, SECTION_WORLD};
+use crate::format::{
+    self, Section, SECTION_ENGINE, SECTION_META, SECTION_REBALANCE, SECTION_STATS, SECTION_WORLD,
+};
 use crate::wire::{fnv1a64, ByteReader, ByteWriter};
 use massf_engine::{
     external_tag, run_sequential_resumable, seed_events, try_run_parallel_resumable, EventRecord,
@@ -97,17 +99,21 @@ pub fn scenario_fingerprint(
 
 /// A checkpointable simulation: world + frontier + segment bookkeeping.
 pub struct Session {
-    shared: Arc<SharedNet>,
-    fingerprint: u64,
+    pub(crate) shared: Arc<SharedNet>,
+    pub(crate) fingerprint: u64,
     /// Virtual time the session has executed up to.
-    now: SimTime,
+    pub(crate) now: SimTime,
     /// Next tag position for externally injected (branch-suffix) events;
     /// starts after the initial events so injected tags never collide.
-    next_external: u32,
-    resume: ResumeState<NetEvent>,
-    world: WorldState,
-    total_events: u64,
-    lp_events: Vec<u64>,
+    pub(crate) next_external: u32,
+    pub(crate) resume: ResumeState<NetEvent>,
+    pub(crate) world: WorldState,
+    pub(crate) total_events: u64,
+    pub(crate) lp_events: Vec<u64>,
+    /// Online-rebalancer state; `Some` iff the session was created with
+    /// [`Session::new_rebalancing`]. Such sessions advance through
+    /// [`Session::run_rebalancing`] only.
+    pub(crate) rebalance: Option<crate::rebalance::RebalanceSessionState>,
 }
 
 impl std::fmt::Debug for Session {
@@ -157,6 +163,7 @@ impl Session {
             world,
             total_events: 0,
             lp_events: vec![0; lp_count],
+            rebalance: None,
         }
     }
 
@@ -165,6 +172,14 @@ impl Session {
     /// invisible: any segmentation reproduces the straight-through run
     /// bit for bit.
     pub fn run_until(&mut self, end: SimTime, mode: &ExecMode) -> Result<(), MassfError> {
+        if self.rebalance.is_some() {
+            return Err(MassfError::InvalidConfig(
+                "rebalancing sessions advance via run_rebalancing, not run_until \
+                 (mixing executors would skip epoch-load accounting and diverge \
+                 from the recorded decision trajectory)"
+                    .into(),
+            ));
+        }
         if end < self.now {
             return Err(MassfError::InvalidConfig(format!(
                 "cannot run backwards: session is at {} ns, requested end {} ns",
@@ -239,7 +254,7 @@ impl Session {
         for &n in &self.lp_events {
             stats.put_u64(n);
         }
-        format::encode_container(&[
+        let mut sections = vec![
             Section {
                 id: SECTION_META,
                 payload: meta.into_inner(),
@@ -256,7 +271,16 @@ impl Session {
                 id: SECTION_STATS,
                 payload: stats.into_inner(),
             },
-        ])
+        ];
+        if let Some(rb) = &self.rebalance {
+            let mut w = ByteWriter::new();
+            codec::put_rebalance_state(&mut w, rb);
+            sections.push(Section {
+                id: SECTION_REBALANCE,
+                payload: w.into_inner(),
+            });
+        }
+        format::encode_container(&sections)
     }
 
     /// Write the session atomically to `path` (temp + fsync + rename; a
@@ -358,6 +382,18 @@ impl Session {
             ));
         }
 
+        let rebalance = match sections.iter().find(|s| s.id == SECTION_REBALANCE) {
+            None => None,
+            Some(section) => {
+                let mut r = ByteReader::new(&section.payload, "rebalance");
+                let rb = codec::get_rebalance_state(&mut r)?;
+                r.finish()?;
+                rb.validate(lp_count)
+                    .map_err(|e| corrupt("rebalance", e.to_string()))?;
+                Some(rb)
+            }
+        };
+
         Ok(Session {
             shared,
             fingerprint,
@@ -367,6 +403,7 @@ impl Session {
             world,
             total_events,
             lp_events,
+            rebalance,
         })
     }
 
@@ -459,6 +496,11 @@ impl Session {
             world: self.world.clone(),
             total_events: self.total_events,
             lp_events: self.lp_events.clone(),
+            // A branch of a rebalancing session keeps rebalancing: the
+            // live assignment and partial-epoch loads carry over, so the
+            // branch's decision trajectory matches the trunk's up to the
+            // fork and diverges only with the injected suffix.
+            rebalance: self.rebalance.clone(),
         })
     }
 

@@ -12,8 +12,9 @@
 //! Determinism: every encoder walks plain `Vec`s in index order — no
 //! hash-map iteration anywhere (D1-clean), no clocks, no entropy.
 
+use crate::rebalance::{RebalancePolicy, RebalanceSessionState};
 use crate::wire::{ByteReader, ByteWriter};
-use massf_engine::{EventRecord, LpId, ResumeState, SimTime};
+use massf_engine::{EventRecord, LpId, RebalanceConfig, RebalanceCounters, ResumeState, SimTime};
 use massf_netsim::{
     FaultKind, FlowEntryState, FlowId, FluidFlowEntryState, FluidStats, FluidWorldState, NetEvent,
     Packet, PacketKind, ProfileData, ReceiverEntryState, TcpSenderState, WorldState,
@@ -690,6 +691,59 @@ pub fn get_world_state(r: &mut ByteReader) -> Result<WorldState, MassfError> {
         fluid_est_start,
         fluid_est_bytes,
         fluid_est_reported,
+    })
+}
+
+pub fn put_rebalance_state(w: &mut ByteWriter, s: &RebalanceSessionState) {
+    let policy = &s.policy;
+    let cfg = &policy.cfg;
+    put_time(w, cfg.epoch);
+    w.put_u64(cfg.threshold_permille);
+    w.put_count(cfg.max_moves);
+    w.put_u64(policy.load_weight);
+    w.put_u64(policy.cut_weight);
+    w.put_u32(s.partitions);
+    put_u32s(w, &s.assignment);
+    put_u64s(w, &s.epoch_loads);
+    let counters = &s.counters;
+    w.put_u64(counters.epochs);
+    w.put_u64(counters.rebalances);
+    w.put_u64(counters.migrations);
+}
+
+pub fn get_rebalance_state(r: &mut ByteReader) -> Result<RebalanceSessionState, MassfError> {
+    let epoch = get_time(r)?;
+    let threshold_permille = r.get_u64()?;
+    // A scalar budget, not a collection length: get_count's
+    // fits-in-remaining heuristic does not apply.
+    let max_moves = usize::try_from(r.get_u64()?)
+        .map_err(|_| r.corrupt("rebalance max_moves exceeds usize"))?;
+    let load_weight = r.get_u64()?;
+    let cut_weight = r.get_u64()?;
+    let partitions = r.get_u32()?;
+    let assignment = get_u32s(r)?;
+    let epoch_loads = get_u64s(r)?;
+    let epochs = r.get_u64()?;
+    let rebalances = r.get_u64()?;
+    let migrations = r.get_u64()?;
+    Ok(RebalanceSessionState {
+        policy: RebalancePolicy {
+            cfg: RebalanceConfig {
+                epoch,
+                threshold_permille,
+                max_moves,
+            },
+            load_weight,
+            cut_weight,
+        },
+        partitions,
+        assignment,
+        epoch_loads,
+        counters: RebalanceCounters {
+            epochs,
+            rebalances,
+            migrations,
+        },
     })
 }
 

@@ -50,6 +50,9 @@ pub const SECTION_ENGINE: u32 = 2;
 pub const SECTION_WORLD: u32 = 3;
 /// Cumulative execution statistics (per-LP and total event counts).
 pub const SECTION_STATS: u32 = 4;
+/// Online-rebalancer state (policy, live assignment, partial-epoch
+/// loads). Present only in snapshots of rebalancing sessions.
+pub const SECTION_REBALANCE: u32 = 5;
 
 /// Human-readable name of a section id, for error messages.
 pub fn section_name(id: u32) -> &'static str {
@@ -58,6 +61,7 @@ pub fn section_name(id: u32) -> &'static str {
         SECTION_ENGINE => "engine",
         SECTION_WORLD => "world",
         SECTION_STATS => "stats",
+        SECTION_REBALANCE => "rebalance",
         _ => "unknown",
     }
 }

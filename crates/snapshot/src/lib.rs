@@ -31,11 +31,15 @@
 pub mod checkpoint;
 pub mod codec;
 pub mod format;
+pub mod rebalance;
 pub mod recovery;
 pub mod wire;
 
 pub use checkpoint::{scenario_fingerprint, ExecMode, Session};
 pub use format::{
     decode_container, encode_container, read_file, write_atomic, Section, FORMAT_VERSION, MAGIC,
+};
+pub use rebalance::{
+    rebalancing_fingerprint, RebalanceOutcome, RebalancePolicy, RebalanceSessionState,
 };
 pub use recovery::{recover_latest, RecoveryReport};

@@ -4,9 +4,10 @@
 #
 #   scripts/check.sh          full gate (including the release-mode
 #                             fault_flap_study, route_resolution,
-#                             engine_hotpath, mem_footprint,
-#                             checkpoint_study and fluid_scaling
-#                             smoke runs)
+#                             engine_hotpath, engine_throughput,
+#                             partitioner, mem_footprint,
+#                             checkpoint_study, fluid_scaling and
+#                             rebalance_study smoke runs)
 #   scripts/check.sh --fast   skip the release-mode smoke runs
 #
 # Each stage is wall-clock timed; a summary table prints at the end.
@@ -62,12 +63,18 @@ if [ "$FAST" -eq 0 ]; then
         cargo bench -q -p massf-bench --bench route_resolution -- --smoke
     stage "engine_hotpath --smoke" \
         cargo bench -q -p massf-bench --bench engine_hotpath -- --smoke
+    stage "engine_throughput --smoke" \
+        cargo bench -q -p massf-bench --bench engine_throughput -- --smoke
+    stage "partitioner --smoke" \
+        cargo bench -q -p massf-bench --bench partitioner -- --smoke
     stage "mem_footprint --smoke" \
         cargo run --release -q -p massf-bench --features alloc-count --bin mem_footprint -- --smoke
     stage "checkpoint_study --smoke" \
         cargo run --release -q -p massf-bench --bin checkpoint_study -- --smoke
     stage "fluid_scaling --smoke" \
         cargo run --release -q -p massf-bench --bin fluid_scaling -- --smoke
+    stage "rebalance_study --smoke" \
+        cargo run --release -q -p massf-bench --bin rebalance_study -- --smoke
 else
     echo "== release-mode smoke runs skipped (--fast) =="
 fi
